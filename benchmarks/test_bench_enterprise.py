@@ -1,0 +1,44 @@
+"""Bench: the enterprise/SLO workload (the paper's §1-§2 motivation)."""
+
+from repro.core.orchestrator import PainterOrchestrator
+from repro.enterprise import (
+    EnterpriseConfig,
+    analyze_slos,
+    build_enterprise,
+    generate_workload,
+    summarize_slos,
+)
+
+
+def test_bench_enterprise_slo(benchmark, bench_scenario):
+    def run():
+        enterprise = build_enterprise(
+            bench_scenario, EnterpriseConfig(seed=3, n_branches=5)
+        )
+        orchestrator = PainterOrchestrator(bench_scenario, prefix_budget=8)
+        orchestrator.learn(iterations=2)
+        config = orchestrator.solve()
+        outcomes = analyze_slos(bench_scenario, enterprise, config)
+        return enterprise, outcomes
+
+    enterprise, outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = summarize_slos(enterprise, outcomes)
+    # PAINTER cannot hurt and typically converts some misses into hits.
+    assert summary.painter_met_fraction >= summary.anycast_met_fraction
+    assert summary.mean_improvement_ms >= 0.0
+    benchmark.extra_info["anycast_met"] = round(summary.anycast_met_fraction, 3)
+    benchmark.extra_info["painter_met"] = round(summary.painter_met_fraction, 3)
+    benchmark.extra_info["mean_improvement_ms"] = round(summary.mean_improvement_ms, 1)
+
+
+def test_bench_enterprise_workload(benchmark, bench_scenario):
+    enterprise = build_enterprise(bench_scenario, EnterpriseConfig(seed=3, n_branches=5))
+    flows = benchmark.pedantic(
+        lambda: generate_workload(enterprise, duration_s=3600.0, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(flows) > 100
+    sites = {flow.site_name for flow in flows}
+    assert sites == {site.name for site in enterprise.sites}
+    benchmark.extra_info["flows_per_hour"] = len(flows)

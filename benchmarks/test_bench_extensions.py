@@ -1,0 +1,74 @@
+"""Bench: Fig. 8 and the extension experiments."""
+
+from repro.experiments.extensions import (
+    run_ext_congestion,
+    run_ext_egress,
+    run_ext_failover_sweep,
+    run_ext_ipv6,
+    run_ext_multipath,
+)
+from repro.experiments.fig8 import run_fig8
+
+
+def test_bench_fig8(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: run_fig8(scenario=bench_scenario), rounds=1, iterations=1
+    )
+    rows = {row[0]: row for row in result.rows}
+    assert rows["painter"][3] > rows["sdwan"][3]  # more paths
+    assert rows["painter"][4] < rows["dns"][4]  # faster failover
+    benchmark.extra_info["painter_paths_median"] = rows["painter"][3]
+    benchmark.extra_info["painter_failover_s"] = rows["painter"][4]
+    print()
+    print(result.render())
+
+
+def test_bench_ext_congestion(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: run_ext_congestion(scenario=bench_scenario), rounds=1, iterations=1
+    )
+    final = result.rows[-1]
+    assert final[4] == 1.0  # spread still delivers at the highest demand
+    assert final[2] < 1.0  # single path long saturated
+    benchmark.extra_info["single_delivered_at_peak"] = final[2]
+    print()
+    print(result.render())
+
+
+def test_bench_ext_multipath(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: run_ext_multipath(scenario=bench_scenario), rounds=1, iterations=1
+    )
+    assert all(row[3] >= 0.99 for row in result.rows)
+    print()
+    print(result.render())
+
+
+def test_bench_ext_ipv6(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: run_ext_ipv6(scenario=bench_scenario), rounds=1, iterations=1
+    )
+    exposable = result.column("exposable_path_frac")
+    assert exposable[0] < 0.85  # realistic v6 peering loses paths
+    benchmark.extra_info["exposable_at_realistic_v6"] = round(exposable[0], 3)
+    print()
+    print(result.render())
+
+
+def test_bench_ext_egress(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: run_ext_egress(scenario=bench_scenario), rounds=1, iterations=1
+    )
+    gains = {row[0]: row[2] for row in result.rows}
+    assert gains["both"] >= max(gains["painter_only"], gains["egress_only"])
+    benchmark.extra_info["combined_gain_ms"] = round(gains["both"], 2)
+    print()
+    print(result.render())
+
+
+def test_bench_ext_failover_sweep(benchmark):
+    result = benchmark.pedantic(run_ext_failover_sweep, rounds=1, iterations=1)
+    painter = result.column("painter_downtime_ms")
+    assert painter == sorted(painter)  # RTT-proportional
+    print()
+    print(result.render())

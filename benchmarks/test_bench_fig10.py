@@ -1,0 +1,20 @@
+"""Bench: Fig. 10 — failover at RTT timescales vs anycast vs DNS."""
+
+from repro.experiments.fig10 import failover_summary, run_fig10
+
+
+def test_bench_fig10(benchmark):
+    outcome = benchmark.pedantic(failover_summary, rounds=1, iterations=1)
+    # The paper's timescale separation: tens of ms / ~1 s / ~60 s.
+    assert outcome.painter_downtime_ms < 100.0
+    assert 0.3 <= outcome.anycast_loss_s <= 3.0
+    assert 5.0 <= outcome.anycast_reconvergence_s <= 30.0
+    assert outcome.dns_downtime_s == 60.0
+    benchmark.extra_info["painter_downtime_ms"] = round(outcome.painter_downtime_ms, 1)
+    benchmark.extra_info["anycast_loss_s"] = round(outcome.anycast_loss_s, 2)
+    benchmark.extra_info["anycast_reconvergence_s"] = round(
+        outcome.anycast_reconvergence_s, 1
+    )
+    benchmark.extra_info["dns_downtime_s"] = outcome.dns_downtime_s
+    print()
+    print(run_fig10().render())

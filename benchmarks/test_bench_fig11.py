@@ -1,0 +1,37 @@
+"""Bench: Fig. 11 — path exposure and AS avoidance vs SD-WAN."""
+
+from repro.experiments.fig11 import run_fig11a, run_fig11b
+
+
+def test_bench_fig11a(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: run_fig11a(scenario=bench_scenario), rounds=1, iterations=1
+    )
+    rows = {row[0]: row[1:] for row in result.rows}
+    median_best_diff = rows["best_paths_diff"][2]
+    median_sdwan = rows["sdwan_paths"][2]
+    # Paper: PAINTER exposes ~23 more paths than SD-WAN for most UGs, and
+    # SD-WAN typically offers 2-3 paths.
+    assert median_best_diff >= 10
+    assert 1 <= median_sdwan <= 4
+    assert rows["all_paths_diff"][2] >= median_best_diff
+    benchmark.extra_info["median_extra_paths"] = median_best_diff
+    benchmark.extra_info["median_sdwan_paths"] = median_sdwan
+    print()
+    print(result.render())
+
+
+def test_bench_fig11b(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: run_fig11b(scenario=bench_scenario), rounds=1, iterations=1
+    )
+    rows = {row[0]: row for row in result.rows}
+    painter_full = rows["painter"][4]
+    sdwan_full = rows["sdwan"][4]
+    # Paper: 90.7% vs 69.5% of UGs can avoid every default-path AS.
+    assert painter_full > sdwan_full
+    assert painter_full > 0.8
+    benchmark.extra_info["painter_fully_avoidable"] = round(painter_full, 3)
+    benchmark.extra_info["sdwan_fully_avoidable"] = round(sdwan_full, 3)
+    print()
+    print(result.render())

@@ -1,0 +1,29 @@
+"""Bench: Fig. 12 — geolocation uncertainty vs coverage and accuracy."""
+
+from repro.experiments.fig12 import run_fig12
+
+
+def test_bench_fig12(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: run_fig12(
+            scenario=bench_scenario,
+            uncertainties_km=(100, 200, 300, 400, 450, 500, 600, 700),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    coverage = dict(zip(result.column("uncertainty_km"), result.column("coverage_frac")))
+    errors = dict(
+        zip(result.column("uncertainty_km"), result.column("median_abs_error_ms"))
+    )
+    # Coverage grows with allowed uncertainty; ~80% at the paper's 450 km.
+    values = [coverage[gp] for gp in sorted(coverage)]
+    assert values == sorted(values)
+    assert coverage[450] > 0.6
+    # Error grows with uncertainty and stays small (paper: ~2 ms median).
+    assert errors[700] >= errors[100]
+    assert errors[450] < 5.0
+    benchmark.extra_info["coverage_at_450km"] = round(coverage[450], 3)
+    benchmark.extra_info["median_error_at_450km_ms"] = round(errors[450], 2)
+    print()
+    print(result.render())

@@ -1,0 +1,32 @@
+"""Bench: Fig. 14 — full benefit ranges per strategy over budget."""
+
+from repro.experiments.fig14 import run_fig14
+
+
+def test_bench_fig14(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: run_fig14(scenario=bench_scenario, painter_max_budget=10),
+        rounds=1,
+        iterations=1,
+    )
+    by_strategy = {}
+    for strategy, budget, lower, mean, estimated, upper in result.rows:
+        by_strategy.setdefault(strategy, []).append((budget, lower, mean, estimated, upper))
+
+    # One-per-Peering has zero uncertainty (one ingress per prefix).
+    for _b, lower, _m, _e, upper in by_strategy["one_per_peering"]:
+        assert abs(upper - lower) < 1e-9
+
+    # One-per-PoP has wide ranges (many possibly-poor ingresses per prefix);
+    # PAINTER's upper-estimated gap is small.
+    def avg_gap(strategy, lo_idx, hi_idx):
+        rows = by_strategy[strategy]
+        return sum(r[hi_idx] - r[lo_idx] for r in rows) / len(rows)
+
+    painter_gap = avg_gap("painter", 3, 4)  # upper - estimated
+    opop_gap = avg_gap("one_per_pop", 3, 4)
+    assert painter_gap < opop_gap
+    benchmark.extra_info["painter_upper_minus_estimated"] = round(painter_gap, 4)
+    benchmark.extra_info["one_per_pop_upper_minus_estimated"] = round(opop_gap, 4)
+    print()
+    print(result.render())

@@ -1,0 +1,48 @@
+"""Bench: Fig. 15 — deployment-size scaling and the D_reuse tradeoff."""
+
+from repro.experiments.fig15 import run_fig15a, run_fig15b
+
+
+def test_bench_fig15a(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig15a(scales=(0.4, 0.7, 1.0), max_budget=20, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    peerings = result.column("n_peerings")
+    p90 = result.column("prefixes_90pct")
+    # Bigger deployments need at least as many prefixes (paper: linear-ish).
+    assert peerings == sorted(peerings)
+    assert all(n != -1 for n in p90)
+    assert p90[-1] >= p90[0]
+    benchmark.extra_info["prefixes_90pct_by_scale"] = dict(
+        zip(result.column("scale"), p90)
+    )
+    print()
+    print(result.render())
+
+
+def test_bench_fig15b(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: run_fig15b(
+            scenario=bench_scenario,
+            d_reuse_sweep_km=(500, 1000, 1500, 2000, 2500, 3000),
+            max_budget=15,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    d_values = result.column("d_reuse_km")
+    uncertainty = result.column("uncertainty_frac")
+    reuse = result.column("reuse_factor")
+    # Larger D_reuse: less reuse, less uncertainty (the paper's tradeoff).
+    assert reuse[-1] < reuse[0]
+    assert uncertainty[-1] <= uncertainty[0]
+    benchmark.extra_info["uncertainty_by_d_reuse"] = {
+        d: round(u, 4) for d, u in zip(d_values, uncertainty)
+    }
+    benchmark.extra_info["reuse_by_d_reuse"] = {
+        d: round(r, 2) for d, r in zip(d_values, reuse)
+    }
+    print()
+    print(result.render())

@@ -1,0 +1,20 @@
+"""Bench: Fig. 3 — traffic sent after DNS record expiration."""
+
+from repro.experiments.fig3 import run_fig3
+
+
+def test_bench_fig3(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig3(n_flows=4000, seed=0), rounds=1, iterations=1
+    )
+    rows = {(r[0], r[1]): r[2] for r in result.rows}
+    # Paper shape: ~80% of Cloud A bytes sent >= 5 min after expiry; the
+    # other clouds ~20% at >= 1 min.
+    assert rows[("cloud-a", 300.0)] > 0.6
+    assert rows[("cloud-b", 60.0)] < 0.5
+    assert rows[("cloud-c", 60.0)] < 0.5
+    benchmark.extra_info["cloud_a_stale_5min"] = round(rows[("cloud-a", 300.0)], 3)
+    benchmark.extra_info["cloud_b_stale_1min"] = round(rows[("cloud-b", 60.0)], 3)
+    benchmark.extra_info["cloud_c_stale_1min"] = round(rows[("cloud-c", 60.0)], 3)
+    print()
+    print(result.render())

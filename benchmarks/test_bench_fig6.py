@@ -1,0 +1,91 @@
+"""Bench: Fig. 6 — benefit vs prefix budget against baselines, plus learning."""
+
+from repro.experiments.fig6 import run_fig6a, run_fig6b, run_fig6c
+
+
+def _series(result, strategy, value_col=3):
+    return {
+        row[1]: row[value_col] for row in result.rows if row[0] == strategy
+    }
+
+
+def test_bench_fig6a(benchmark, bench_azure_scenario):
+    result = benchmark.pedantic(
+        lambda: run_fig6a(
+            scenario=bench_azure_scenario, painter_max_budget=15, learning_iterations=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    painter = _series(result, "painter")
+    opp = _series(result, "one_per_peering")
+    # PAINTER reaches 75% of possible benefit with at most 1/3 the prefixes
+    # One-per-Peering needs (paper: "saves 3x the number of prefixes").
+    painter_75 = min((b for b, v in painter.items() if v >= 0.75), default=None)
+    opp_75 = min((b for b, v in opp.items() if v >= 0.75), default=None)
+    assert painter_75 is not None
+    assert opp_75 is None or painter_75 * 3 <= opp_75
+    # PAINTER dominates every baseline at shared budgets.  (At one or two
+    # prefixes the greedy optimizes Eq. 2's uniform expectation while the
+    # plot's "estimated" metric weights by inflation probability, so tiny
+    # budgets can disagree; the paper's dominance claim concerns the curve.)
+    for strategy in ("one_per_pop", "one_per_pop_w_reuse", "regional_transit"):
+        other = _series(result, strategy)
+        for budget in set(painter) & set(other):
+            if budget >= 3:
+                assert painter[budget] >= other[budget] - 0.05, (strategy, budget)
+    benchmark.extra_info["painter_prefixes_for_75pct"] = painter_75
+    benchmark.extra_info["one_per_peering_prefixes_for_75pct"] = opp_75
+    print()
+    print(result.render())
+
+
+def test_bench_fig6b(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: run_fig6b(
+            scenario=bench_scenario, painter_max_budget=12, learning_iterations=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    painter = _series(result, "painter")
+    opp = _series(result, "one_per_peering")
+    best_painter = max(painter.values())
+    # 90% of PAINTER's achieved improvement requires ~10x the prefixes under
+    # One-per-Peering (paper: "roughly 10% as many prefixes").
+    painter_90 = min(b for b, v in painter.items() if v >= 0.9 * best_painter)
+    opp_90 = min(
+        (b for b, v in opp.items() if v >= 0.9 * best_painter), default=None
+    )
+    assert opp_90 is None or opp_90 >= 2 * painter_90
+    benchmark.extra_info["painter_avg_improvement_ms"] = round(best_painter, 1)
+    benchmark.extra_info["painter_prefixes_for_90pct"] = painter_90
+    benchmark.extra_info["one_per_peering_prefixes_for_90pct"] = opp_90
+    print()
+    print(result.render())
+
+
+def test_bench_fig6c(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: run_fig6c(scenario=bench_scenario, painter_max_budget=10, iterations=4),
+        rounds=1,
+        iterations=1,
+    )
+    full_budget = max(result.column("budget_prefixes"))
+    per_iter = {row[0]: row[2] for row in result.rows if row[1] == full_budget}
+    uncertainties = {
+        row[0]: row[3]
+        for row in result.rows
+        if row[1] == full_budget and isinstance(row[3], float)
+    }
+    # Learning improves realized benefit and narrows uncertainty.
+    assert max(per_iter[i] for i in per_iter if i > 0) >= per_iter[0] - 1e-9
+    assert uncertainties[max(uncertainties)] <= uncertainties[0] + 1e-9
+    benchmark.extra_info["improvement_by_iteration_ms"] = {
+        k: round(v, 1) for k, v in per_iter.items()
+    }
+    benchmark.extra_info["uncertainty_by_iteration"] = {
+        k: round(v, 3) for k, v in uncertainties.items()
+    }
+    print()
+    print(result.render())

@@ -1,0 +1,41 @@
+"""Bench: Fig. 9 — steering granularity and the cost of DNS steering."""
+
+from repro.experiments.fig9 import run_fig9a, run_fig9b
+
+
+def test_bench_fig9a(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: run_fig9a(scenario=bench_scenario, top_pops=10), rounds=1, iterations=1
+    )
+    all_rows = {row[1]: row[2:] for row in result.rows if row[0] == "all"}
+    # PAINTER controls everything at the finest granularity; BGP is coarsest.
+    assert all_rows["painter"][0] + all_rows["painter"][1] > 0.95
+    bgp_coarse = all_rows["bgp"][-1] + all_rows["bgp"][-2]
+    painter_coarse = all_rows["painter"][-1] + all_rows["painter"][-2]
+    assert bgp_coarse > painter_coarse
+    benchmark.extra_info["painter_finest_share"] = round(
+        all_rows["painter"][0] + all_rows["painter"][1], 3
+    )
+    benchmark.extra_info["bgp_coarse_share"] = round(bgp_coarse, 3)
+    print()
+    print(result.render())
+
+
+def test_bench_fig9b(benchmark, bench_scenario):
+    result = benchmark.pedantic(
+        lambda: run_fig9b(
+            scenario=bench_scenario, painter_max_budget=12, learning_iterations=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    fractions = result.column("dns_fraction_of_painter")
+    # DNS steering sacrifices a large share of the benefit (paper: ~half).
+    assert min(fractions) < 0.9
+    assert all(f <= 1.0 + 1e-9 for f in fractions)
+    benchmark.extra_info["dns_fraction_range"] = (
+        round(min(fractions), 3),
+        round(max(fractions), 3),
+    )
+    print()
+    print(result.render())

@@ -1,0 +1,59 @@
+"""Compare PAINTER's advertisements against the paper's baselines (Fig. 6).
+
+For a range of prefix budgets, computes how much of the total possible
+latency benefit each strategy realizes against ground-truth routing.
+
+Run with::
+
+    python examples/advertisement_strategies.py
+"""
+
+from __future__ import annotations
+
+from repro import PainterOrchestrator, prototype_scenario
+from repro.core.baselines import (
+    one_per_peering,
+    one_per_pop,
+    one_per_pop_with_reuse,
+    regional_transit,
+)
+from repro.core.benefit import realized_benefit
+from repro.experiments.harness import config_prefix_subset
+
+
+def main() -> None:
+    scenario = prototype_scenario(seed=2, n_ugs=200)
+    possible = scenario.total_possible_benefit()
+    print(scenario.describe())
+    print(f"peerings (ingresses): {len(scenario.deployment)}\n")
+
+    budgets = (1, 2, 4, 8, 12)
+
+    orchestrator = PainterOrchestrator(scenario, prefix_budget=max(budgets))
+    orchestrator.learn(iterations=2)  # let the routing model converge a bit
+    painter_full = orchestrator.solve()
+
+    strategies = {
+        "painter": lambda budget: config_prefix_subset(painter_full, budget),
+        "one_per_peering": lambda budget: one_per_peering(scenario, budget),
+        "one_per_pop": lambda budget: one_per_pop(scenario, budget),
+        "one_per_pop_w_reuse": lambda budget: one_per_pop_with_reuse(scenario, budget),
+        "regional_transit": lambda budget: regional_transit(scenario, budget),
+    }
+
+    header = "strategy".ljust(22) + "".join(f"{budget:>10}" for budget in budgets)
+    print(header)
+    print("-" * len(header))
+    for name, builder in strategies.items():
+        cells = []
+        for budget in budgets:
+            config = builder(budget)
+            fraction = realized_benefit(scenario, config) / possible
+            cells.append(f"{100 * fraction:9.1f}%")
+        print(name.ljust(22) + "".join(cells))
+
+    print("\n(cells: % of total possible benefit realized at that prefix budget)")
+
+
+if __name__ == "__main__":
+    main()

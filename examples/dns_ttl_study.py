@@ -1,0 +1,52 @@
+"""Reproduce the DNS/TTL motivation study (Fig. 3).
+
+Generates synthetic residential traces for three cloud profiles and shows
+how much traffic is still sent to addresses from expired DNS records — the
+reason DNS cannot steer cloud ingress traffic quickly.
+
+Run with::
+
+    python examples/dns_ttl_study.py
+"""
+
+from __future__ import annotations
+
+from repro.dns.trace import (
+    CLOUD_PROFILES,
+    bytes_yet_to_be_sent_curve,
+    extant_vs_cached_ratio,
+    generate_trace,
+)
+
+OFFSETS = (-60.0, -1.0, 0.0, 1.0, 60.0, 300.0, 3600.0)
+LABELS = ("-1min", "-1s", "expiry", "+1s", "+1min", "+5min", "+1hour")
+
+
+def main() -> None:
+    print("fraction of bytes yet to be sent, relative to DNS record expiry\n")
+    header = "cloud".ljust(10) + "".join(label.rjust(9) for label in LABELS)
+    print(header)
+    print("-" * len(header))
+    for profile in CLOUD_PROFILES:
+        flows = generate_trace(profile, n_flows=5000, seed=0)
+        curve = bytes_yet_to_be_sent_curve(flows, OFFSETS)
+        cells = "".join(f"{100 * fraction:8.1f}%" for _offset, fraction in curve)
+        print(profile.name.ljust(10) + cells)
+
+    print()
+    for profile in CLOUD_PROFILES:
+        flows = generate_trace(profile, n_flows=5000, seed=0)
+        ratio = extant_vs_cached_ratio(flows)
+        print(
+            f"{profile.name}: late bytes split {ratio:.1f}:1 between flows that "
+            "outlived their record and flows started from cached addresses"
+        )
+
+    print(
+        "\nTakeaway: most of cloud-a's traffic ignores DNS TTLs entirely, so a "
+        "DNS answer change cannot re-steer it — PAINTER steers per flow instead."
+    )
+
+
+if __name__ == "__main__":
+    main()

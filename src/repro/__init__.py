@@ -1,0 +1,52 @@
+"""PAINTER reproduction: ingress traffic engineering for enterprise clouds.
+
+A from-scratch implementation of the system described in "PAINTER: Ingress
+Traffic Engineering and Routing for Enterprise Cloud Networks" (SIGCOMM
+2023), together with every substrate its evaluation depends on — a synthetic
+Internet topology, a BGP simulator, a measurement platform, user-group
+workloads, DNS/TTL dynamics, and an SD-WAN comparator.
+
+Quickstart::
+
+    from repro import prototype_scenario, PainterOrchestrator
+
+    scenario = prototype_scenario(seed=1)
+    orchestrator = PainterOrchestrator(scenario, prefix_budget=10)
+    result = orchestrator.learn(iterations=3)
+    print(result.realized_benefits)
+"""
+
+from repro.core import (
+    AdvertisementConfig,
+    BenefitEvaluator,
+    LearningResult,
+    PainterOrchestrator,
+    RoutingModel,
+    realized_benefit,
+)
+from repro.audit import audit_scenario
+from repro.scenario import (
+    Scenario,
+    azure_scenario,
+    build_scenario,
+    prototype_scenario,
+    tiny_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdvertisementConfig",
+    "audit_scenario",
+    "BenefitEvaluator",
+    "LearningResult",
+    "PainterOrchestrator",
+    "RoutingModel",
+    "Scenario",
+    "azure_scenario",
+    "build_scenario",
+    "prototype_scenario",
+    "realized_benefit",
+    "tiny_scenario",
+    "__version__",
+]

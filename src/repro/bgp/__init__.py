@@ -1,0 +1,34 @@
+"""BGP substrate: routes, policy, propagation, convergence dynamics."""
+
+from repro.bgp.convergence import (
+    ConvergenceConfig,
+    ConvergenceEvent,
+    ConvergenceTrace,
+    churn_series,
+    simulate_withdrawal,
+)
+from repro.bgp.flap_damping import (
+    DampingConfig,
+    FlapDampingState,
+    learning_iteration_pacing_s,
+    safe_update_interval_s,
+)
+from repro.bgp.route import Route, better_route, decision_key, may_export
+from repro.bgp.simulator import BGPSimulator
+
+__all__ = [
+    "BGPSimulator",
+    "DampingConfig",
+    "FlapDampingState",
+    "learning_iteration_pacing_s",
+    "safe_update_interval_s",
+    "ConvergenceConfig",
+    "ConvergenceEvent",
+    "ConvergenceTrace",
+    "Route",
+    "better_route",
+    "churn_series",
+    "decision_key",
+    "may_export",
+    "simulate_withdrawal",
+]

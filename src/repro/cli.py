@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``     — describe a scenario preset (topology, UGs, benefit headroom);
+* ``solve``    — run the Advertisement Orchestrator and print (or save) the
+  configuration;
+* ``failover`` — run the Fig. 10 failover simulation;
+* ``validate`` — traceroute-validate the policy-compliance inference (§3.1).
+
+Experiments have their own entry point: ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.scenario import Scenario, azure_scenario, prototype_scenario, tiny_scenario
+
+_PRESETS = {
+    "tiny": tiny_scenario,
+    "prototype": prototype_scenario,
+    "azure": azure_scenario,
+}
+
+
+def _scenario_from(args: argparse.Namespace) -> Scenario:
+    builder = _PRESETS[args.preset]
+    kwargs = {"seed": args.seed}
+    if args.ugs is not None:
+        kwargs["n_ugs"] = args.ugs
+    return builder(**kwargs)
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset", choices=sorted(_PRESETS), default="prototype",
+        help="scenario preset (default: prototype)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="world seed")
+    parser.add_argument("--ugs", type=int, default=None, help="user-group count")
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    scenario = _scenario_from(args)
+    print(scenario.describe())
+    possible = scenario.total_possible_benefit()
+    print(f"total possible benefit (volume-weighted ms): {possible:.2f}")
+    stats = scenario.catalog.coverage_stats()
+    print(
+        f"policy-compliant ingresses per UG: "
+        f"min {stats['min']:.0f} / mean {stats['mean']:.1f} / max {stats['max']:.0f}"
+    )
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    from repro.core.cost import configuration_cost
+    from repro.core.orchestrator import PainterOrchestrator
+
+    scenario = _scenario_from(args)
+    orchestrator = PainterOrchestrator(
+        scenario, prefix_budget=args.budget, d_reuse_km=args.d_reuse
+    )
+    result = orchestrator.learn(iterations=args.iterations)
+    config = result.final_config
+    possible = scenario.total_possible_benefit()
+    print(scenario.describe())
+    for record in result.iterations:
+        print(
+            f"iter {record.iteration}: realized "
+            f"{100 * record.realized_benefit / possible:.1f}% of possible "
+            f"({record.new_preferences} preferences learned)"
+        )
+    print(f"final: {config}")
+    cost = configuration_cost(config)
+    print(
+        f"cost: {cost.prefixes} /24s (~${cost.address_cost_usd:,.0f}), "
+        f"{cost.announcements} announcements"
+    )
+    if args.output:
+        from repro.io import save_config
+
+        save_config(config, args.output)
+        print(f"saved configuration to {args.output}")
+    return 0
+
+
+def cmd_failover(args: argparse.Namespace) -> int:
+    from repro.experiments.fig10 import run_fig10
+
+    print(run_fig10().render())
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.measurement.traceroute import TracerouteConfig, validate_policy_compliance
+
+    scenario = _scenario_from(args)
+    report = validate_policy_compliance(
+        scenario, TracerouteConfig(seed=args.seed, misattribution_prob=args.misattribution)
+    )
+    print(
+        f"traceroutes: {report.total}, unresolvable: {report.unresolvable}, "
+        f"violations: {report.violations} "
+        f"({100 * report.violation_rate:.1f}% — paper observed 4%)"
+    )
+    return 0
+
+
+#: Experiments cheap enough for the default `report` invocation.
+_QUICK_EXPERIMENTS = (
+    "fig3", "fig8", "fig10", "fig11a", "fig11b", "fig12",
+    "ext_congestion", "ext_multipath", "ext_ipv6", "ext_failover_sweep",
+)
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.audit import audit_scenario
+
+    scenario = _scenario_from(args)
+    report = audit_scenario(scenario)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.reporting import run_and_report
+
+    requested = args.experiments or list(_QUICK_EXPERIMENTS)
+    markdown = run_and_report(requested)
+    Path(args.output).write_text(markdown)
+    print(f"wrote {args.output} covering: {', '.join(requested)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PAINTER reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="describe a scenario preset")
+    _add_scenario_args(info)
+    info.set_defaults(func=cmd_info)
+
+    solve = sub.add_parser("solve", help="run the Advertisement Orchestrator")
+    _add_scenario_args(solve)
+    solve.add_argument("--budget", type=int, default=10, help="prefix budget")
+    solve.add_argument("--iterations", type=int, default=3, help="learning iterations")
+    solve.add_argument("--d-reuse", type=float, default=3000.0, help="D_reuse (km)")
+    solve.add_argument("--output", type=str, default=None, help="save config JSON here")
+    solve.set_defaults(func=cmd_solve)
+
+    failover = sub.add_parser("failover", help="run the Fig. 10 failover simulation")
+    failover.set_defaults(func=cmd_failover)
+
+    validate = sub.add_parser("validate", help="traceroute-validate compliance inference")
+    _add_scenario_args(validate)
+    validate.add_argument(
+        "--misattribution", type=float, default=0.015,
+        help="hop IP-to-AS misattribution probability",
+    )
+    validate.set_defaults(func=cmd_validate)
+
+    audit = sub.add_parser("audit", help="self-check a scenario's structural invariants")
+    _add_scenario_args(audit)
+    audit.set_defaults(func=cmd_audit)
+
+    report = sub.add_parser("report", help="run experiments and write a Markdown report")
+    report.add_argument(
+        "experiments", nargs="*", help="experiment ids (default: the quick ones)"
+    )
+    report.add_argument("--output", type=str, default="report.md", help="output path")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

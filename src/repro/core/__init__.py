@@ -1,0 +1,66 @@
+"""PAINTER's core: advertisement optimization (Algorithm 1) and benefit math."""
+
+from repro.core.advertisement import AdvertisementConfig
+from repro.core.baselines import (
+    BASELINE_STRATEGIES,
+    anycast_config,
+    one_per_peering,
+    one_per_pop,
+    one_per_pop_with_reuse,
+    regional_anycast,
+    regional_transit,
+)
+from repro.core.cost import (
+    ConfigurationCost,
+    configuration_cost,
+    cost_per_benefit_usd,
+    prefixes_saved_vs_one_per_peering,
+)
+from repro.core.installation import Installation, InstalledPrefix, install_configuration
+from repro.core.benefit import (
+    BenefitEvaluator,
+    BenefitRange,
+    ConfigEvaluation,
+    DEFAULT_INFLATION_SCALE_KM,
+    best_prefix_choices,
+    realized_benefit,
+    realized_improvement,
+)
+from repro.core.orchestrator import (
+    BudgetPoint,
+    IterationRecord,
+    LearningResult,
+    PainterOrchestrator,
+)
+from repro.core.routing_model import DEFAULT_D_REUSE_KM, RoutingModel
+
+__all__ = [
+    "AdvertisementConfig",
+    "ConfigurationCost",
+    "Installation",
+    "InstalledPrefix",
+    "configuration_cost",
+    "cost_per_benefit_usd",
+    "install_configuration",
+    "prefixes_saved_vs_one_per_peering",
+    "regional_anycast",
+    "BASELINE_STRATEGIES",
+    "BenefitEvaluator",
+    "BenefitRange",
+    "BudgetPoint",
+    "ConfigEvaluation",
+    "DEFAULT_D_REUSE_KM",
+    "DEFAULT_INFLATION_SCALE_KM",
+    "IterationRecord",
+    "LearningResult",
+    "PainterOrchestrator",
+    "RoutingModel",
+    "anycast_config",
+    "best_prefix_choices",
+    "one_per_peering",
+    "one_per_pop",
+    "one_per_pop_with_reuse",
+    "realized_benefit",
+    "realized_improvement",
+    "regional_transit",
+]

@@ -1,0 +1,100 @@
+"""Advertisement configurations: which prefix is announced via which peerings.
+
+"We model an advertisement configuration A as a set of (peering, prefix)
+pairs where (peering, prefix) in A means we advertise that prefix via that
+peering" (§3.1).  Prefixes are integers 0..PB-1 here; binding them to real
+/24s is the job of :class:`repro.topology.cloud.PrefixPool` at installation
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Set, Tuple
+
+
+@dataclass
+class AdvertisementConfig:
+    """A mutable prefix -> peering-set mapping built up by Algorithm 1."""
+
+    _prefixes: Dict[int, Set[int]] = field(default_factory=dict)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "AdvertisementConfig":
+        """Build from (prefix, peering_id) pairs."""
+        config = cls()
+        for prefix, peering_id in pairs:
+            config.add(prefix, peering_id)
+        return config
+
+    def add(self, prefix: int, peering_id: int) -> None:
+        if prefix < 0:
+            raise ValueError("prefix index must be non-negative")
+        self._prefixes.setdefault(prefix, set()).add(peering_id)
+
+    def remove(self, prefix: int, peering_id: int) -> None:
+        peerings = self._prefixes.get(prefix)
+        if peerings is None or peering_id not in peerings:
+            raise KeyError(f"(prefix {prefix}, peering {peering_id}) not in config")
+        peerings.remove(peering_id)
+        if not peerings:
+            del self._prefixes[prefix]
+
+    def peerings_for(self, prefix: int) -> FrozenSet[int]:
+        return frozenset(self._prefixes.get(prefix, frozenset()))
+
+    def advertises(self, prefix: int, peering_id: int) -> bool:
+        return peering_id in self._prefixes.get(prefix, ())
+
+    @property
+    def prefixes(self) -> List[int]:
+        """Prefixes with at least one advertisement, ascending."""
+        return sorted(self._prefixes)
+
+    @property
+    def prefix_count(self) -> int:
+        return len(self._prefixes)
+
+    @property
+    def pair_count(self) -> int:
+        return sum(len(peerings) for peerings in self._prefixes.values())
+
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        for prefix in sorted(self._prefixes):
+            for peering_id in sorted(self._prefixes[prefix]):
+                yield (prefix, peering_id)
+
+    def all_peering_ids(self) -> FrozenSet[int]:
+        result: Set[int] = set()
+        for peerings in self._prefixes.values():
+            result |= peerings
+        return frozenset(result)
+
+    def as_mapping(self) -> Mapping[int, FrozenSet[int]]:
+        return {prefix: frozenset(peerings) for prefix, peerings in self._prefixes.items()}
+
+    def copy(self) -> "AdvertisementConfig":
+        clone = AdvertisementConfig()
+        for prefix, peerings in self._prefixes.items():
+            clone._prefixes[prefix] = set(peerings)
+        return clone
+
+    def reuse_factor(self) -> float:
+        """Average peerings per prefix — how hard prefixes are being reused."""
+        if not self._prefixes:
+            return 0.0
+        return self.pair_count / self.prefix_count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AdvertisementConfig):
+            return NotImplemented
+        return self.as_mapping() == other.as_mapping()
+
+    def __len__(self) -> int:
+        return self.prefix_count
+
+    def __str__(self) -> str:
+        return (
+            f"AdvertisementConfig({self.prefix_count} prefixes, "
+            f"{self.pair_count} pairs, reuse {self.reuse_factor():.1f}x)"
+        )

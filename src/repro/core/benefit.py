@@ -1,0 +1,279 @@
+"""Benefit computation: Eq. (1), Eq. (2), and the Fig. 14 benefit ranges.
+
+Terminology follows the paper:
+
+* **improvement** of a UG under a configuration is its latency gain over the
+  default anycast configuration; never negative, because the Traffic Manager
+  always has anycast as a fallback destination;
+* **benefit** (Eq. 1) is the volume-weighted sum of improvements;
+* **expected** quantities use the routing model's candidate-ingress
+  expectation (Eq. 2); **realized** quantities use the ground-truth oracle;
+* a **benefit range** (lower/mean/estimated/upper, Appendix E.1) spans the
+  policy-compliant ingresses a UG's chosen prefix is advertised over, where
+  "estimated" weights ingresses by how unlikely their path inflation is.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.advertisement import AdvertisementConfig
+from repro.core.routing_model import RoutingModel
+from repro.routing.ground_truth import GroundTruthRouting
+from repro.scenario import Scenario
+from repro.topology.geo import haversine_km
+from repro.usergroups.usergroup import UserGroup
+
+#: Decay scale (km) for the inflation-probability weights in the "estimated"
+#: range: paths inflated by an extra X km get weight exp(-X/scale), matching
+#: the paper's "weights correspond to approximate probabilities that paths
+#: are inflated by corresponding amounts".
+DEFAULT_INFLATION_SCALE_KM = 1500.0
+
+LatencyFn = Callable[[UserGroup, int], Optional[float]]
+
+
+@dataclass(frozen=True)
+class BenefitRange:
+    """Possible improvements (ms) for one UG and one chosen prefix."""
+
+    lower: float
+    mean: float
+    estimated: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if not (self.lower <= self.mean <= self.upper) or not (
+            self.lower <= self.estimated <= self.upper
+        ):
+            raise ValueError(f"inconsistent range: {self}")
+
+    @property
+    def uncertainty(self) -> float:
+        """Width between best case and inflation-weighted estimate."""
+        return self.upper - self.estimated
+
+
+@dataclass(frozen=True)
+class ConfigEvaluation:
+    """Aggregate volume-weighted benefit of a configuration (ms units)."""
+
+    lower: float
+    mean: float
+    estimated: float
+    upper: float
+    per_ug_estimated: Mapping[int, float]
+
+    def as_fraction_of(self, total_possible: float) -> "ConfigEvaluation":
+        if total_possible <= 0:
+            raise ValueError("total_possible must be positive")
+        scale = 1.0 / total_possible
+        return ConfigEvaluation(
+            lower=self.lower * scale,
+            mean=self.mean * scale,
+            estimated=self.estimated * scale,
+            upper=self.upper * scale,
+            per_ug_estimated={k: v * scale for k, v in self.per_ug_estimated.items()},
+        )
+
+
+class BenefitEvaluator:
+    """Evaluates configurations for a scenario under a routing model."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        model: RoutingModel,
+        latency_of: Optional[LatencyFn] = None,
+        inflation_scale_km: float = DEFAULT_INFLATION_SCALE_KM,
+    ) -> None:
+        self._scenario = scenario
+        self._model = model
+        self._inflation_scale_km = inflation_scale_km
+        if latency_of is None:
+            deployment = scenario.deployment
+            latency_model = scenario.latency_model
+
+            def _true_latency(ug: UserGroup, peering_id: int) -> Optional[float]:
+                return latency_model.latency_ms(ug, deployment.peering(peering_id))
+
+            latency_of = _true_latency
+        self._latency_of = latency_of
+        self._latency_cache: Dict[Tuple[int, int], Optional[float]] = {}
+
+    @property
+    def scenario(self) -> Scenario:
+        return self._scenario
+
+    @property
+    def model(self) -> RoutingModel:
+        return self._model
+
+    def latency(self, ug: UserGroup, peering_id: int) -> Optional[float]:
+        key = (ug.ug_id, peering_id)
+        if key not in self._latency_cache:
+            self._latency_cache[key] = self._latency_of(ug, peering_id)
+        return self._latency_cache[key]
+
+    # -- Eq. 2: modeled improvement -------------------------------------------
+
+    def expected_prefix_latency(
+        self, ug: UserGroup, advertised: FrozenSet[int]
+    ) -> Optional[float]:
+        return self._model.expected_latency_ms(ug, advertised, self.latency)
+
+    def expected_improvement(self, ug: UserGroup, config: AdvertisementConfig) -> float:
+        """Eq. 2: improvement of the best prefix over anycast, floored at 0."""
+        anycast = self._scenario.anycast_latency_ms(ug)
+        best = anycast
+        for prefix in config.prefixes:
+            latency = self.expected_prefix_latency(ug, config.peerings_for(prefix))
+            if latency is not None and latency < best:
+                best = latency
+        return anycast - best
+
+    def expected_benefit(self, config: AdvertisementConfig) -> float:
+        """Eq. 1 with modeled improvements."""
+        return sum(
+            ug.volume * self.expected_improvement(ug, config)
+            for ug in self._scenario.user_groups
+        )
+
+    # -- Fig. 14: benefit ranges ---------------------------------------------
+
+    def _range_for_prefix(
+        self, ug: UserGroup, advertised: FrozenSet[int]
+    ) -> Optional[BenefitRange]:
+        """Range over all policy-compliant advertised ingresses (no exclusions)."""
+        compliant = self._model.catalog.compliant_subset(ug, advertised)
+        anycast = self._scenario.anycast_latency_ms(ug)
+        deployment = self._scenario.deployment
+        distances = []
+        improvements = []
+        for pid in sorted(compliant):
+            latency = self.latency(ug, pid)
+            if latency is None:
+                continue
+            improvements.append(max(0.0, anycast - latency))
+            distances.append(
+                haversine_km(ug.location, deployment.peering(pid).pop.location)
+            )
+        if not improvements:
+            return None
+        closest = min(distances)
+        weights = [
+            math.exp(-(d - closest) / self._inflation_scale_km) for d in distances
+        ]
+        total_weight = sum(weights)
+        estimated = sum(i * w for i, w in zip(improvements, weights)) / total_weight
+        return BenefitRange(
+            lower=min(improvements),
+            mean=sum(improvements) / len(improvements),
+            estimated=estimated,
+            upper=max(improvements),
+        )
+
+    def benefit_range(
+        self, ug: UserGroup, config: AdvertisementConfig
+    ) -> BenefitRange:
+        """Range for the prefix the UG would select (highest mean, Eq. 2)."""
+        best_range: Optional[BenefitRange] = None
+        for prefix in config.prefixes:
+            candidate = self._range_for_prefix(ug, config.peerings_for(prefix))
+            if candidate is None:
+                continue
+            if best_range is None or candidate.mean > best_range.mean:
+                best_range = candidate
+        if best_range is None:
+            return BenefitRange(lower=0.0, mean=0.0, estimated=0.0, upper=0.0)
+        return best_range
+
+    def evaluate(self, config: AdvertisementConfig) -> ConfigEvaluation:
+        """Volume-weighted lower/mean/estimated/upper benefit of a config."""
+        lower = mean = estimated = upper = 0.0
+        per_ug: Dict[int, float] = {}
+        for ug in self._scenario.user_groups:
+            rng = self.benefit_range(ug, config)
+            lower += ug.volume * rng.lower
+            mean += ug.volume * rng.mean
+            estimated += ug.volume * rng.estimated
+            upper += ug.volume * rng.upper
+            per_ug[ug.ug_id] = rng.estimated
+        return ConfigEvaluation(
+            lower=lower, mean=mean, estimated=estimated, upper=upper, per_ug_estimated=per_ug
+        )
+
+
+def realized_improvement(
+    scenario: Scenario,
+    ug: UserGroup,
+    config: AdvertisementConfig,
+    day: int = 0,
+    fixed_prefix: Optional[int] = None,
+) -> float:
+    """Ground-truth improvement: the TM measures every prefix and anycast.
+
+    With ``fixed_prefix`` the UG is pinned to one prefix (Fig. 7's "static
+    prefix choices"); otherwise it uses the best available (dynamic).
+    Improvement stays floored at 0 since anycast remains a destination.
+    """
+    routing: GroundTruthRouting = scenario.routing
+    anycast = scenario.anycast_latency_ms(ug, day=day)
+    prefixes = [fixed_prefix] if fixed_prefix is not None else config.prefixes
+    best = anycast
+    for prefix in prefixes:
+        advertised = config.peerings_for(prefix)
+        if not advertised:
+            continue
+        latency = routing.latency_for(ug, advertised, day=day)
+        if latency is not None and latency < best:
+            best = latency
+    return anycast - best
+
+
+def realized_benefit(
+    scenario: Scenario,
+    config: AdvertisementConfig,
+    day: int = 0,
+    prefix_choice: Optional[Mapping[int, int]] = None,
+) -> float:
+    """Eq. 1 with ground-truth improvements (optionally pinned prefixes).
+
+    With ``prefix_choice`` given, every UG is static: mapped UGs stay on
+    their pinned prefix, unmapped UGs stay on anycast (they had no better
+    prefix when the pins were chosen) — contributing zero improvement.
+    """
+    total = 0.0
+    for ug in scenario.user_groups:
+        if prefix_choice is not None and ug.ug_id not in prefix_choice:
+            continue  # pinned to anycast: zero improvement by definition
+        fixed = None if prefix_choice is None else prefix_choice[ug.ug_id]
+        total += ug.volume * realized_improvement(
+            scenario, ug, config, day=day, fixed_prefix=fixed
+        )
+    return total
+
+
+def best_prefix_choices(
+    scenario: Scenario, config: AdvertisementConfig, day: int = 0
+) -> Dict[int, int]:
+    """Each UG's best prefix by ground-truth latency on ``day`` (for Fig. 7)."""
+    routing = scenario.routing
+    choices: Dict[int, int] = {}
+    for ug in scenario.user_groups:
+        anycast = scenario.anycast_latency_ms(ug, day=day)
+        best_latency = anycast
+        best_prefix: Optional[int] = None
+        for prefix in config.prefixes:
+            advertised = config.peerings_for(prefix)
+            if not advertised:
+                continue
+            latency = routing.latency_for(ug, advertised, day=day)
+            if latency is not None and latency < best_latency:
+                best_latency = latency
+                best_prefix = prefix
+        if best_prefix is not None:
+            choices[ug.ug_id] = best_prefix
+    return choices

@@ -1,0 +1,329 @@
+"""The Advertisement Orchestrator: Algorithm 1 plus the learning loop.
+
+Greedy structure follows the paper's pseudocode exactly:
+
+* outer loop — learning iterations: solve, execute the advertisement against
+  ground truth, observe which ingresses UGs actually used, fold the
+  observations into the routing model, repeat;
+* middle loop — one prefix at a time from the budget;
+* inner loop — advertise the current prefix via as many peerings as provide
+  positive marginal benefit (prefix reuse), considered in ranked order of
+  estimated improvement (Eq. 2).
+
+The implementation accelerates the ranked scan with lazy re-evaluation
+(stale marginals are recomputed only when they reach the top of the heap),
+mirroring the paper's note that "UGs tend to have paths via a relatively
+small fraction of ingresses, speeding up computation".
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.advertisement import AdvertisementConfig
+from repro.core.benefit import BenefitEvaluator, LatencyFn, realized_benefit
+from repro.core.routing_model import DEFAULT_D_REUSE_KM, RoutingModel
+from repro.scenario import Scenario
+from repro.usergroups.usergroup import UserGroup
+
+#: Marginal benefit below this (volume-weighted ms) counts as "no benefit".
+EPSILON_BENEFIT = 1e-9
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class BudgetPoint:
+    """Benefit snapshot after the k-th prefix was fully allocated."""
+
+    prefixes_used: int
+    pairs_used: int
+    estimated_benefit: float
+    upper_benefit: float
+    lower_benefit: float
+    mean_benefit: float
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One learning iteration's outcome."""
+
+    iteration: int
+    config: AdvertisementConfig
+    expected_benefit: float
+    realized_benefit: float
+    upper_benefit: float
+    estimated_benefit: float
+    lower_benefit: float
+    new_preferences: int
+
+    @property
+    def uncertainty(self) -> float:
+        """Pre-test uncertainty band: best case minus inflation-weighted."""
+        return self.upper_benefit - self.estimated_benefit
+
+
+@dataclass
+class LearningResult:
+    """The full learning-loop history (Fig. 6c)."""
+
+    iterations: List[IterationRecord] = field(default_factory=list)
+
+    @property
+    def final_config(self) -> AdvertisementConfig:
+        """The configuration to deploy: the best *measured* one.
+
+        Each iteration's configuration is executed and measured; an operator
+        deploys the best-known configuration, not the latest exploration —
+        an untested re-solve can regress while the routing model digests new
+        observations (the incorrect-assumption transients of §3.1).
+        """
+        if not self.iterations:
+            raise ValueError("no iterations recorded")
+        return max(self.iterations, key=lambda r: r.realized_benefit).config
+
+    @property
+    def last_config(self) -> AdvertisementConfig:
+        """The most recent (possibly exploratory) configuration."""
+        if not self.iterations:
+            raise ValueError("no iterations recorded")
+        return self.iterations[-1].config
+
+    @property
+    def realized_benefits(self) -> List[float]:
+        return [record.realized_benefit for record in self.iterations]
+
+    @property
+    def uncertainties(self) -> List[float]:
+        return [record.uncertainty for record in self.iterations]
+
+
+class PainterOrchestrator:
+    """Computes advertisement configurations for a scenario.
+
+    ``latency_of`` lets callers substitute measured/estimated latencies (the
+    geolocation heuristic, ping minima) for the default true-latency source,
+    as the paper does in its Azure evaluation.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        prefix_budget: int,
+        d_reuse_km: float = DEFAULT_D_REUSE_KM,
+        latency_of: Optional[LatencyFn] = None,
+        model: Optional[RoutingModel] = None,
+        allow_reuse: bool = True,
+    ) -> None:
+        if prefix_budget < 1:
+            raise ValueError("prefix budget must be at least 1")
+        self._scenario = scenario
+        self._budget = prefix_budget
+        self._model = model or RoutingModel(scenario.catalog, d_reuse_km=d_reuse_km)
+        self._evaluator = BenefitEvaluator(scenario, self._model, latency_of=latency_of)
+        self._affected: Dict[int, List[UserGroup]] = self._invert_catalog()
+        #: Ablation knob: with reuse disabled each prefix is advertised via a
+        #: single peering, reducing Algorithm 1 to a greedy one-per-peering.
+        self._allow_reuse = allow_reuse
+        self.budget_curve: List[BudgetPoint] = []
+
+    @property
+    def model(self) -> RoutingModel:
+        return self._model
+
+    @property
+    def evaluator(self) -> BenefitEvaluator:
+        return self._evaluator
+
+    @property
+    def prefix_budget(self) -> int:
+        return self._budget
+
+    def _invert_catalog(self) -> Dict[int, List[UserGroup]]:
+        affected: Dict[int, List[UserGroup]] = {}
+        for ug in self._scenario.user_groups:
+            for pid in self._scenario.catalog.ingress_ids(ug):
+                affected.setdefault(pid, []).append(ug)
+        return affected
+
+    # -- Algorithm 1, middle + inner loops ----------------------------------
+
+    def solve(self, record_curve: bool = False) -> AdvertisementConfig:
+        """Greedy allocation of the prefix budget (one outer-loop pass)."""
+        scenario = self._scenario
+        evaluator = self._evaluator
+        config = AdvertisementConfig()
+        self.budget_curve = []
+
+        anycast: Dict[int, float] = {
+            ug.ug_id: scenario.anycast_latency_ms(ug) for ug in scenario.user_groups
+        }
+        # Expected latency per (ug, prefix); None when prefix unusable.
+        exp_lat: Dict[int, List[Optional[float]]] = {
+            ug.ug_id: [None] * self._budget for ug in scenario.user_groups
+        }
+
+        def best_other(ug: UserGroup, prefix: int) -> float:
+            best = anycast[ug.ug_id]
+            for q, value in enumerate(exp_lat[ug.ug_id]):
+                if q == prefix or value is None:
+                    continue
+                if value < best:
+                    best = value
+            return best
+
+        all_peering_ids = sorted(self._affected)
+
+        for prefix in range(self._budget):
+            advertised: Set[int] = set()
+            # Cache of each affected UG's best-other latency for this prefix.
+            other_cache: Dict[int, float] = {}
+
+            def marginal(peering_id: int) -> float:
+                candidate_set = frozenset(advertised | {peering_id})
+                delta = 0.0
+                for ug in self._affected.get(peering_id, ()):
+                    base = other_cache.get(ug.ug_id)
+                    if base is None:
+                        base = best_other(ug, prefix)
+                        other_cache[ug.ug_id] = base
+                    old_p = exp_lat[ug.ug_id][prefix]
+                    old_best = base if old_p is None else min(base, old_p)
+                    new_p = evaluator.expected_prefix_latency(ug, candidate_set)
+                    new_best = old_best if new_p is None else min(base, new_p)
+                    delta += ug.volume * (old_best - new_best)
+                return delta
+
+            # Lazy-greedy heap of (-marginal, staleness marker, peering id).
+            version = 0
+            heap: List[Tuple[float, int, int]] = []
+            for pid in all_peering_ids:
+                heapq.heappush(heap, (-marginal(pid), version, pid))
+
+            while heap:
+                neg_delta, seen_version, pid = heapq.heappop(heap)
+                if pid in advertised:
+                    continue
+                if seen_version != version:
+                    fresh = marginal(pid)
+                    if heap and -fresh < -heap[0][0] - EPSILON_BENEFIT:
+                        heapq.heappush(heap, (-fresh, version, pid))
+                        continue
+                    neg_delta = -fresh
+                if -neg_delta <= EPSILON_BENEFIT:
+                    break  # no peering offers positive benefit for this prefix
+                # Accept: advertise this prefix via this peering.
+                advertised.add(pid)
+                config.add(prefix, pid)
+                version += 1
+                frozen = frozenset(advertised)
+                for ug in self._affected.get(pid, ()):
+                    exp_lat[ug.ug_id][prefix] = evaluator.expected_prefix_latency(
+                        ug, frozen
+                    )
+                other_cache.clear()
+                if not self._allow_reuse:
+                    break  # one peering per prefix (ablation)
+
+            if not advertised:
+                break  # nothing left anywhere: further prefixes also won't help
+            logger.debug(
+                "prefix %d advertised via %d peerings", prefix, len(advertised)
+            )
+            if record_curve:
+                evaluation = evaluator.evaluate(config)
+                self.budget_curve.append(
+                    BudgetPoint(
+                        prefixes_used=config.prefix_count,
+                        pairs_used=config.pair_count,
+                        estimated_benefit=evaluation.estimated,
+                        upper_benefit=evaluation.upper,
+                        lower_benefit=evaluation.lower,
+                        mean_benefit=evaluation.mean,
+                    )
+                )
+        return config
+
+    def estimated_iteration_duration_s(self) -> float:
+        """How long one real-world learning iteration would take.
+
+        Combines the paper's ~30 s/prefix computation with the
+        flap-damping-safe advertisement pacing (§3.1: configurations are
+        tested slowly "to avoid route flap damping").
+        """
+        from repro.bgp.flap_damping import learning_iteration_pacing_s
+
+        return learning_iteration_pacing_s(prefix_count=self._budget)
+
+    # -- Algorithm 1, outer loop -------------------------------------------
+
+    def execute_and_observe(self, config: AdvertisementConfig) -> int:
+        """Advertise ``config`` (against ground truth) and learn preferences.
+
+        Returns the number of new preference pairs learned.  This is the
+        ``RM <- execute_advertisement(CC)`` step.
+        """
+        routing = self._scenario.routing
+        learned = 0
+        for ug in self._scenario.user_groups:
+            for prefix in config.prefixes:
+                advertised = config.peerings_for(prefix)
+                if not self._scenario.catalog.compliant_subset(ug, advertised):
+                    continue
+                actual = routing.ingress_for(ug, advertised)
+                if actual is None:
+                    continue
+                learned += self._model.observe(ug, advertised, actual.peering_id)
+        return learned
+
+    def learn(
+        self,
+        iterations: int = 4,
+        stop_threshold: float = 0.0,
+        record_curve: bool = False,
+    ) -> LearningResult:
+        """Run the outer learning loop for up to ``iterations`` rounds.
+
+        ``stop_threshold`` terminates early when the marginal realized-benefit
+        increase falls below the given fraction (the paper terminates "when
+        little marginal benefit increase" remains).
+        """
+        if iterations < 1:
+            raise ValueError("need at least one iteration")
+        result = LearningResult()
+        previous_benefit: Optional[float] = None
+        for iteration in range(iterations):
+            config = self.solve(record_curve=record_curve)
+            evaluation = self._evaluator.evaluate(config)
+            expected = self._evaluator.expected_benefit(config)
+            learned = self.execute_and_observe(config)
+            realized = realized_benefit(self._scenario, config)
+            result.iterations.append(
+                IterationRecord(
+                    iteration=iteration,
+                    config=config,
+                    expected_benefit=expected,
+                    realized_benefit=realized,
+                    upper_benefit=evaluation.upper,
+                    estimated_benefit=evaluation.estimated,
+                    lower_benefit=evaluation.lower,
+                    new_preferences=learned,
+                )
+            )
+            logger.info(
+                "learning iteration %d: %s, realized benefit %.3f, "
+                "%d new preferences",
+                iteration,
+                config,
+                realized,
+                learned,
+            )
+            if previous_benefit is not None and stop_threshold > 0:
+                gain = realized - previous_benefit
+                if gain <= stop_threshold * max(previous_benefit, EPSILON_BENEFIT):
+                    break
+            previous_benefit = realized
+        return result

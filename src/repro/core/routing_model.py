@@ -1,0 +1,271 @@
+"""The orchestrator's routing model: predicted ingresses per (UG, prefix).
+
+"Since it is difficult to predict ingresses, we make assumptions about UG
+ingresses and, in cases with uncertainty, assume all policy-compliant
+ingresses are equally likely. We then learn from incorrect assumptions over
+time" (§3.1).  Two exclusion rules refine the uniform assumption:
+
+* **learned preferences** — if a past advertisement exposed peerings X and Y
+  to a UG and the UG was observed entering at X, then Y is excluded from any
+  future prediction in which X is also advertised;
+* **reuse distance** — an ingress is excluded when its PoP is more than
+  ``D_reuse`` km farther from the UG than the closest PoP advertising the
+  prefix (large inflation is rare, so the UG is assumed not to land there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.topology.cloud import CloudDeployment, Peering
+from repro.topology.geo import haversine_km
+from repro.usergroups.ingresses import IngressCatalog
+from repro.usergroups.usergroup import UserGroup
+
+#: Paper's operating point for the minimum reuse distance.
+DEFAULT_D_REUSE_KM = 3000.0
+
+
+class RoutingModel:
+    """Beliefs about how UGs route, refined by observed advertisements."""
+
+    def __init__(
+        self,
+        catalog: IngressCatalog,
+        d_reuse_km: float = DEFAULT_D_REUSE_KM,
+    ) -> None:
+        if d_reuse_km < 0:
+            raise ValueError("d_reuse_km must be non-negative")
+        self._catalog = catalog
+        self._deployment: CloudDeployment = catalog.topology.deployment
+        self._d_reuse_km = d_reuse_km
+        #: Per UG: (winner, loser) peering-id pairs learned from observations,
+        #: each scoped to the peer-ASN *context* it was observed under.  The
+        #: AS-level race depends on which ASes compete (announcing to a new
+        #: AS can change intermediate propagation), so a preference is only
+        #: trusted when the current competitor set is contained in the
+        #: observed one — generalizing further caused configurations that
+        #: looked perfect and routed terribly.
+        self._preferences: Dict[int, Dict[Tuple[int, int], FrozenSet[int]]] = {}
+        #: Exact outcome memory: (ug_id, compliant peering-id set) -> the
+        #: ingress actually observed.  Routing is deterministic per set, so
+        #: a remembered outcome is a probability-1 prediction.
+        self._outcomes: Dict[Tuple[int, FrozenSet[int]], int] = {}
+        #: Distance cache keyed by (ug_id, peering_id).
+        self._distance_cache: Dict[Tuple[int, int], float] = {}
+        self._observation_count = 0
+
+    @property
+    def d_reuse_km(self) -> float:
+        return self._d_reuse_km
+
+    @property
+    def catalog(self) -> IngressCatalog:
+        return self._catalog
+
+    @property
+    def observation_count(self) -> int:
+        return self._observation_count
+
+    def preference_count(self, ug: Optional[UserGroup] = None) -> int:
+        if ug is not None:
+            return len(self._preferences.get(ug.ug_id, ()))
+        return sum(len(pairs) for pairs in self._preferences.values())
+
+    def _peer_asns(self, peering_ids: Iterable[int]) -> FrozenSet[int]:
+        return frozenset(
+            self._deployment.peering(pid).peer_asn for pid in peering_ids
+        )
+
+    def _applicable_pairs(
+        self, ug: UserGroup, compliant: FrozenSet[int]
+    ) -> Set[Tuple[int, int]]:
+        """Preference pairs trustworthy for this candidate set.
+
+        Two classes generalize differently:
+
+        * **within-AS pairs** (both peerings belong to one AS) encode that
+          AS's exit policy, which is deterministic whenever both exits are
+          advertised — always applicable;
+        * **cross-AS pairs** encode the outcome of an AS-level race, which
+          shifts with the competitor set (announcing to another AS changes
+          intermediate propagation) — applicable only when the current
+          competitor-ASN set matches the one observed.
+        """
+        prefs = self._preferences.get(ug.ug_id)
+        if not prefs:
+            return set()
+        current_asns = self._peer_asns(compliant)
+        applicable: Set[Tuple[int, int]] = set()
+        for pair, context in prefs.items():
+            winner, loser = pair
+            same_as = (
+                self._deployment.peering(winner).peer_asn
+                == self._deployment.peering(loser).peer_asn
+            )
+            if same_as or current_asns == context:
+                applicable.add(pair)
+        return applicable
+
+    # -- distances -----------------------------------------------------------
+
+    def _distance_km(self, ug: UserGroup, peering_id: int) -> float:
+        key = (ug.ug_id, peering_id)
+        cached = self._distance_cache.get(key)
+        if cached is None:
+            peering = self._deployment.peering(peering_id)
+            cached = haversine_km(ug.location, peering.pop.location)
+            self._distance_cache[key] = cached
+        return cached
+
+    # -- candidate prediction -----------------------------------------------
+
+    def candidate_ingresses(
+        self, ug: UserGroup, advertised: FrozenSet[int]
+    ) -> FrozenSet[int]:
+        """Peering ids the model considers possible (and equally likely).
+
+        Starts from the policy-compliant subset of the advertised peerings.
+        Learned preferences apply first and *override* the reuse-distance
+        heuristic: an ingress observed to win stays a candidate no matter how
+        far away it is (the Miami-routed-through-Tokyo case is exactly what
+        learning must be able to represent), while ingresses it beat are
+        excluded.  The reuse-distance assumption then prunes only ingresses
+        we have no observations about.  If everything would be excluded, the
+        closest compliant ingress is kept (the UG must land somewhere).
+        """
+        compliant = self._catalog.compliant_subset(ug, advertised)
+        if not compliant:
+            return frozenset()
+
+        remembered = self._outcomes.get((ug.ug_id, compliant))
+        if remembered is not None and remembered in compliant:
+            return frozenset({remembered})
+
+        pairs = self._applicable_pairs(ug, compliant)
+        winners: Set[int] = set()
+        after_pref = set(compliant)
+        if pairs:
+            winners = {w for (w, loser) in pairs if w in compliant}
+            if winners:
+                losers = {
+                    loser for (w, loser) in pairs if w in compliant and loser in compliant
+                }
+                survivors = after_pref - losers
+                if survivors:
+                    after_pref = survivors
+
+        closest = min(self._distance_km(ug, pid) for pid in after_pref)
+        kept = {
+            pid
+            for pid in after_pref
+            if pid in winners
+            or self._distance_km(ug, pid) - closest <= self._d_reuse_km
+        }
+
+        if not kept:
+            kept = {min(compliant, key=lambda pid: self._distance_km(ug, pid))}
+        return frozenset(kept)
+
+    def expected_latency_ms(
+        self,
+        ug: UserGroup,
+        advertised: FrozenSet[int],
+        latency_of: "LatencySource",
+    ) -> Optional[float]:
+        """Eq. 2's inner expectation: mean latency over candidate ingresses.
+
+        ``latency_of(ug, peering_id)`` supplies measured/estimated latency
+        and may return ``None`` for unmeasurable ingresses, which are then
+        skipped.  Returns ``None`` when nothing is measurable.
+        """
+        candidates = self.candidate_ingresses(ug, advertised)
+        total = 0.0
+        count = 0
+        for pid in candidates:
+            latency = latency_of(ug, pid)
+            if latency is None:
+                continue
+            total += latency
+            count += 1
+        if count == 0:
+            return None
+        return total / count
+
+    # -- learning --------------------------------------------------------------
+
+    def observe(
+        self, ug: UserGroup, advertised: FrozenSet[int], actual_peering_id: int
+    ) -> int:
+        """Incorporate one observed routing outcome.
+
+        The UG was seen entering at ``actual_peering_id`` while ``advertised``
+        was live, so the actual ingress dominates every other compliant
+        advertised ingress for this UG.  Returns how many new preference
+        pairs were learned.
+        """
+        compliant = self._catalog.compliant_subset(ug, advertised)
+        if actual_peering_id not in advertised:
+            raise ValueError(
+                f"observed peering {actual_peering_id} was not advertised"
+            )
+        context = self._peer_asns(compliant)
+        self._outcomes[(ug.ug_id, compliant)] = actual_peering_id
+        prefs = self._preferences.setdefault(ug.ug_id, {})
+        learned = 0
+        for pid in compliant:
+            if pid == actual_peering_id:
+                continue
+            pair = (actual_peering_id, pid)
+            if pair not in prefs:
+                learned += 1
+            # Observation supersedes any older, contradicting pair and
+            # refreshes the pair's competitor context.
+            prefs.pop((pid, actual_peering_id), None)
+            prefs[pair] = context
+        self._observation_count += 1
+        return learned
+
+    def is_excluded_by_preference(
+        self, ug: UserGroup, peering_id: int, advertised: FrozenSet[int]
+    ) -> bool:
+        """Whether learned preferences exclude ``peering_id`` in this set."""
+        compliant = self._catalog.compliant_subset(ug, advertised)
+        pairs = self._applicable_pairs(ug, compliant)
+        return any(
+            loser == peering_id and winner in advertised and winner != peering_id
+            for (winner, loser) in pairs
+        )
+
+    def snapshot_preferences(
+        self,
+    ) -> Mapping[int, Mapping[Tuple[int, int], FrozenSet[int]]]:
+        return {
+            ug_id: dict(pairs) for ug_id, pairs in self._preferences.items()
+        }
+
+    def restore_preferences(
+        self,
+        snapshot: Mapping[int, Mapping[Tuple[int, int], Iterable[int]]],
+    ) -> None:
+        """Load a previously-saved preference state (replaces the current).
+
+        Lets an operator persist learning across orchestrator runs — the
+        paper's configurations "need not change often" (§5.1.3), so the
+        expensive part worth keeping is the learned routing model.
+        """
+        self._preferences = {
+            int(ug_id): {
+                (int(w), int(l)): frozenset(int(a) for a in context)
+                for (w, l), context in pairs.items()
+            }
+            for ug_id, pairs in snapshot.items()
+        }
+
+
+class LatencySource:
+    """Protocol-ish callable: (UserGroup, peering_id) -> Optional[float]."""
+
+    def __call__(self, ug: UserGroup, peering_id: int) -> Optional[float]:
+        raise NotImplementedError

@@ -1,0 +1,40 @@
+"""DNS substrate: records, caches, resolvers, TTL-violation traffic traces."""
+
+from repro.dns.records import ClientCache, DNSRecord, RecursiveResolver
+from repro.dns.resolution import (
+    AuthoritativeServer,
+    CachingResolver,
+    SimulatedClient,
+    failover_delay_distribution,
+    failover_delay_s,
+)
+from repro.dns.resolvers import ResolverAssignment, ResolverConfig
+from repro.dns.trace import (
+    CLOUD_PROFILES,
+    CloudProfile,
+    TraceFlow,
+    bytes_yet_to_be_sent_curve,
+    extant_vs_cached_ratio,
+    generate_trace,
+    stale_traffic_fraction,
+)
+
+__all__ = [
+    "AuthoritativeServer",
+    "CLOUD_PROFILES",
+    "CachingResolver",
+    "SimulatedClient",
+    "failover_delay_distribution",
+    "failover_delay_s",
+    "ClientCache",
+    "CloudProfile",
+    "DNSRecord",
+    "RecursiveResolver",
+    "ResolverAssignment",
+    "ResolverConfig",
+    "TraceFlow",
+    "bytes_yet_to_be_sent_curve",
+    "extant_vs_cached_ratio",
+    "generate_trace",
+    "stale_traffic_fraction",
+]

@@ -1,0 +1,164 @@
+"""The full DNS resolution path: authoritative -> recursive -> client.
+
+Fig. 10 charges DNS-based failover a flat TTL; reality is messier — a
+client's effective failover time depends on where in the TTL window the
+failure lands, the recursive resolver's cache, and client-side caching that
+ignores TTLs outright (§2.2).  This module simulates the chain so the DNS
+failover *distribution* can be derived instead of assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dns.records import ClientCache, DNSRecord
+from repro.util import stable_rng
+
+
+class AuthoritativeServer:
+    """The cloud's authoritative DNS: hostname -> address, updatable.
+
+    Steering via DNS means updating these mappings; the update is instant
+    *here* but invisible to clients until caches expire.
+    """
+
+    def __init__(self, default_ttl_s: float = 60.0) -> None:
+        if default_ttl_s <= 0:
+            raise ValueError("ttl must be positive")
+        self._default_ttl_s = default_ttl_s
+        self._records: Dict[str, Tuple[str, float]] = {}
+        self._update_times: Dict[str, float] = {}
+
+    def set_record(self, hostname: str, address: str, time_s: float, ttl_s: Optional[float] = None) -> None:
+        self._records[hostname] = (address, ttl_s or self._default_ttl_s)
+        self._update_times[hostname] = time_s
+
+    def query(self, hostname: str, time_s: float) -> DNSRecord:
+        try:
+            address, ttl_s = self._records[hostname]
+        except KeyError:
+            raise KeyError(f"no record for {hostname!r}") from None
+        return DNSRecord(hostname=hostname, address=address, ttl_s=ttl_s, issued_at_s=time_s)
+
+    def last_update_s(self, hostname: str) -> Optional[float]:
+        return self._update_times.get(hostname)
+
+
+class CachingResolver:
+    """A recursive resolver with a straightforward TTL-honoring cache."""
+
+    def __init__(self, authoritative: AuthoritativeServer) -> None:
+        self._authoritative = authoritative
+        self._cache: Dict[str, DNSRecord] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def resolve(self, hostname: str, time_s: float) -> DNSRecord:
+        cached = self._cache.get(hostname)
+        if cached is not None and cached.is_valid_at(time_s):
+            self.cache_hits += 1
+            # Downstream TTL is the *remaining* lifetime, as real resolvers
+            # serve it.
+            remaining = cached.expires_at_s - time_s
+            return DNSRecord(
+                hostname=hostname,
+                address=cached.address,
+                ttl_s=max(remaining, 1e-9),
+                issued_at_s=time_s,
+            )
+        self.cache_misses += 1
+        fresh = self._authoritative.query(hostname, time_s)
+        self._cache[hostname] = fresh
+        return fresh
+
+
+@dataclass
+class SimulatedClient:
+    """A client with its own cache, optionally TTL-violating (§2.2)."""
+
+    resolver: CachingResolver
+    respect_ttl: bool = True
+    #: Extra seconds a TTL-violating client keeps using a cached address.
+    violation_extra_s: float = 0.0
+    _cache: ClientCache = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._cache = ClientCache(respect_ttl=self.respect_ttl)
+
+    def lookup(self, hostname: str, time_s: float) -> str:
+        cached = self._cache.lookup(hostname, time_s)
+        if cached is not None:
+            if self.respect_ttl or time_s < cached.expires_at_s + self.violation_extra_s:
+                return cached.address
+        record = self.resolver.resolve(hostname, time_s)
+        self._cache.insert(record)
+        return record.address
+
+
+def failover_delay_s(
+    client: SimulatedClient,
+    authoritative: AuthoritativeServer,
+    hostname: str,
+    lookup_time_s: float,
+    failure_time_s: float,
+    new_address: str,
+    probe_interval_s: float = 1.0,
+    horizon_s: float = 3600.0,
+) -> float:
+    """Seconds after the failure until the client sees the new address.
+
+    The client looked up the name at ``lookup_time_s``; the old address
+    fails at ``failure_time_s`` and the authoritative record is updated at
+    the same moment.  The client retries every ``probe_interval_s`` (a
+    browser/app reconnect loop).
+    """
+    client.lookup(hostname, lookup_time_s)  # warm caches with the old record
+    authoritative.set_record(hostname, new_address, time_s=failure_time_s)
+    t = failure_time_s
+    while t <= failure_time_s + horizon_s:
+        if client.lookup(hostname, t) == new_address:
+            return t - failure_time_s
+        t += probe_interval_s
+    return float("inf")
+
+
+def failover_delay_distribution(
+    ttl_s: float = 60.0,
+    n_clients: int = 200,
+    violator_fraction: float = 0.3,
+    violation_extra_s: float = 900.0,
+    seed: int = 0,
+) -> List[float]:
+    """Failover delays across a client population (the Fig. 10 DNS band).
+
+    Clients looked the name up at uniformly random points in the TTL window;
+    a fraction violate TTLs for an extra period, as measured in §2.2.
+    """
+    if not 0 <= violator_fraction <= 1:
+        raise ValueError("violator_fraction must be in [0,1]")
+    rng = stable_rng(seed, "dns-failover")
+    delays: List[float] = []
+    for index in range(n_clients):
+        authoritative = AuthoritativeServer(default_ttl_s=ttl_s)
+        authoritative.set_record("svc.example", "198.51.100.1", time_s=0.0)
+        resolver = CachingResolver(authoritative)
+        violates = rng.random() < violator_fraction
+        client = SimulatedClient(
+            resolver=resolver,
+            respect_ttl=not violates,
+            violation_extra_s=violation_extra_s if violates else 0.0,
+        )
+        lookup_time = rng.uniform(0.0, ttl_s)
+        failure_time = ttl_s  # failure lands at the end of the first window
+        delay = failover_delay_s(
+            client,
+            authoritative,
+            "svc.example",
+            lookup_time_s=lookup_time,
+            failure_time_s=failure_time,
+            new_address="198.51.100.2",
+            horizon_s=ttl_s + violation_extra_s + 60.0,
+        )
+        delays.append(delay)
+    return delays

@@ -1,0 +1,17 @@
+"""Egress-direction substrate: coexistence with egress traffic engineering."""
+
+from repro.egress.coexistence import (
+    CoexistenceResult,
+    DirectionalLatency,
+    DirectionalModel,
+    EgressOptimizer,
+    evaluate_coexistence,
+)
+
+__all__ = [
+    "CoexistenceResult",
+    "DirectionalLatency",
+    "DirectionalModel",
+    "EgressOptimizer",
+    "evaluate_coexistence",
+]

@@ -1,0 +1,90 @@
+"""Generate enterprises over a scenario's user-group population."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.enterprise.model import (
+    Enterprise,
+    STANDARD_SERVICES,
+    ServiceProfile,
+    Site,
+    SiteKind,
+)
+from repro.scenario import Scenario
+from repro.usergroups.usergroup import UserGroup
+
+
+@dataclass(frozen=True)
+class EnterpriseConfig:
+    seed: int = 0
+    n_branches: int = 4
+    #: Probability a site lacks a cloud-edge stack (unmanaged traffic).
+    unmanaged_site_prob: float = 0.15
+    hq_headcount: int = 1200
+    branch_headcount_mean: int = 150
+    remote_headcount: int = 300
+
+    def __post_init__(self) -> None:
+        if self.n_branches < 0:
+            raise ValueError("n_branches must be non-negative")
+        if not 0.0 <= self.unmanaged_site_prob <= 1.0:
+            raise ValueError("unmanaged_site_prob must be in [0,1]")
+
+
+def build_enterprise(
+    scenario: Scenario,
+    config: Optional[EnterpriseConfig] = None,
+    services: Optional[Sequence[ServiceProfile]] = None,
+) -> Enterprise:
+    """An enterprise whose sites sit in the scenario's UG population.
+
+    HQ lands in the highest-volume UG (enterprises cluster where traffic
+    is); branches are drawn from distinct other UGs; remote employees attach
+    to a UG without an edge stack (their traffic is not TM-steerable,
+    mirroring §3.3's limitation).
+    """
+    config = config or EnterpriseConfig()
+    rng = random.Random(config.seed)
+    ugs = sorted(scenario.user_groups, key=lambda ug: -ug.volume)
+    needed = 2 + config.n_branches
+    if len(ugs) < needed:
+        raise ValueError(f"scenario has {len(ugs)} UGs; enterprise needs {needed}")
+
+    enterprise = Enterprise(
+        name=f"enterprise-{config.seed}",
+        services=list(services if services is not None else STANDARD_SERVICES),
+    )
+    enterprise.add_site(
+        Site(
+            name="hq",
+            kind=SiteKind.HEADQUARTERS,
+            user_group=ugs[0],
+            headcount=config.hq_headcount,
+        )
+    )
+    branch_pool = ugs[1 : 1 + max(10, 3 * config.n_branches)]
+    chosen = rng.sample(branch_pool, k=min(config.n_branches, len(branch_pool)))
+    for index, ug in enumerate(chosen):
+        enterprise.add_site(
+            Site(
+                name=f"branch-{index}",
+                kind=SiteKind.BRANCH_OFFICE,
+                user_group=ug,
+                headcount=max(10, int(rng.gauss(config.branch_headcount_mean, 40))),
+                has_edge_stack=rng.random() >= config.unmanaged_site_prob,
+            )
+        )
+    remote_ug = ugs[1 + len(branch_pool)] if len(ugs) > 1 + len(branch_pool) else ugs[-1]
+    enterprise.add_site(
+        Site(
+            name="remote",
+            kind=SiteKind.REMOTE_EMPLOYEES,
+            user_group=remote_ug,
+            headcount=config.remote_headcount,
+            has_edge_stack=False,  # laptops on home ISPs: no TM-Edge
+        )
+    )
+    return enterprise

@@ -1,0 +1,130 @@
+"""The modern enterprise of Figure 2: sites, services, cloud integration.
+
+The paper motivates PAINTER with an enterprise whose corporate WAN is
+*virtual* — branch offices, HQ, and remote employees connect to each other
+and to services through the cloud, with cloud-edge network stacks (the
+TM-Edge hosts) at each site's choke point.  This module models that
+enterprise so workloads and SLO analyses can be expressed in its terms.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.usergroups.usergroup import UserGroup
+
+
+class SiteKind(enum.Enum):
+    HEADQUARTERS = "hq"
+    BRANCH_OFFICE = "branch"
+    REMOTE_EMPLOYEES = "remote"
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """A cloud service the enterprise depends on, with its requirements.
+
+    ``latency_slo_ms`` and ``loss_slo`` express the service's tolerance;
+    the paper cites AR's 10 ms / 20 Mbps / 1e-5-loss requirement and 5G
+    URLLC as the coming pressure on ingress paths.
+    """
+
+    name: str
+    latency_slo_ms: float
+    bandwidth_mbps: float
+    loss_slo: float = 1e-3
+    #: Relative share of the enterprise's traffic volume.
+    traffic_share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency_slo_ms <= 0:
+            raise ValueError("latency SLO must be positive")
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0 <= self.loss_slo < 1:
+            raise ValueError("loss SLO must be in [0,1)")
+        if self.traffic_share <= 0:
+            raise ValueError("traffic share must be positive")
+
+
+#: Service mix of the paper's motivating enterprise: teleconferencing and
+#: management traffic now, AR/5G-edge class applications next.
+STANDARD_SERVICES: Tuple[ServiceProfile, ...] = (
+    ServiceProfile(
+        name="teleconferencing", latency_slo_ms=100.0, bandwidth_mbps=4.0, traffic_share=0.45
+    ),
+    ServiceProfile(
+        name="file-storage", latency_slo_ms=250.0, bandwidth_mbps=20.0, traffic_share=0.30
+    ),
+    ServiceProfile(
+        name="sales-database", latency_slo_ms=60.0, bandwidth_mbps=2.0, traffic_share=0.15
+    ),
+    ServiceProfile(
+        name="ar-offload", latency_slo_ms=10.0, bandwidth_mbps=20.0, loss_slo=1e-5,
+        traffic_share=0.10,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class Site:
+    """One enterprise location, anchored to a user group.
+
+    The UG supplies geography and routing identity (its AS and metro); the
+    site adds enterprise semantics: kind, headcount, and whether a
+    cloud-edge stack (TM-Edge host) is deployed there.
+    """
+
+    name: str
+    kind: SiteKind
+    user_group: UserGroup
+    headcount: int
+    has_edge_stack: bool = True
+
+    def __post_init__(self) -> None:
+        if self.headcount < 1:
+            raise ValueError("headcount must be positive")
+
+
+@dataclass
+class Enterprise:
+    """A cloud-integrated enterprise: sites plus the services they consume."""
+
+    name: str
+    sites: List[Site] = field(default_factory=list)
+    services: List[ServiceProfile] = field(default_factory=list)
+
+    def add_site(self, site: Site) -> None:
+        if any(existing.name == site.name for existing in self.sites):
+            raise ValueError(f"site {site.name!r} already exists")
+        self.sites.append(site)
+
+    def site(self, name: str) -> Site:
+        for site in self.sites:
+            if site.name == name:
+                return site
+        raise KeyError(f"no site {name!r}")
+
+    def service(self, name: str) -> ServiceProfile:
+        for service in self.services:
+            if service.name == name:
+                return service
+        raise KeyError(f"no service {name!r}")
+
+    @property
+    def total_headcount(self) -> int:
+        return sum(site.headcount for site in self.sites)
+
+    def managed_sites(self) -> List[Site]:
+        """Sites where a TM-Edge can steer traffic (§3.3: PAINTER 'only
+        works for traffic controllable by a TM-Edge')."""
+        return [site for site in self.sites if site.has_edge_stack]
+
+    def steerable_fraction(self) -> float:
+        """Headcount share behind a cloud-edge stack."""
+        if not self.sites:
+            return 0.0
+        managed = sum(site.headcount for site in self.managed_sites())
+        return managed / self.total_headcount

@@ -1,0 +1,71 @@
+"""Per-figure experiment reproductions (see DESIGN.md's experiment index)."""
+
+from repro.experiments.extensions import (
+    run_ext_congestion,
+    run_ext_egress,
+    run_ext_failover_sweep,
+    run_ext_ipv6,
+    run_ext_multipath,
+)
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig6 import run_fig6a, run_fig6b, run_fig6c
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9a, run_fig9b
+from repro.experiments.fig10 import failover_summary, run_fig10
+from repro.experiments.fig11 import run_fig11a, run_fig11b
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig14 import run_fig14
+from repro.experiments.fig15 import run_fig15a, run_fig15b
+from repro.experiments.harness import ExperimentResult, budget_grid, config_prefix_subset
+
+ALL_EXPERIMENTS = {
+    "fig3": run_fig3,
+    "fig6a": run_fig6a,
+    "fig6b": run_fig6b,
+    "fig6c": run_fig6c,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9a": run_fig9a,
+    "fig9b": run_fig9b,
+    "fig10": run_fig10,
+    "fig11a": run_fig11a,
+    "fig11b": run_fig11b,
+    "fig12": run_fig12,
+    "fig14": run_fig14,
+    "fig15a": run_fig15a,
+    "fig15b": run_fig15b,
+    "ext_congestion": run_ext_congestion,
+    "ext_egress": run_ext_egress,
+    "ext_failover_sweep": run_ext_failover_sweep,
+    "ext_ipv6": run_ext_ipv6,
+    "ext_multipath": run_ext_multipath,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "run_ext_congestion",
+    "run_ext_egress",
+    "run_ext_failover_sweep",
+    "run_ext_ipv6",
+    "run_ext_multipath",
+    "ExperimentResult",
+    "budget_grid",
+    "config_prefix_subset",
+    "failover_summary",
+    "run_fig10",
+    "run_fig11a",
+    "run_fig11b",
+    "run_fig12",
+    "run_fig14",
+    "run_fig15a",
+    "run_fig15b",
+    "run_fig3",
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig6c",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9a",
+    "run_fig9b",
+]

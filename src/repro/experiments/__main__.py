@@ -1,0 +1,40 @@
+"""Run every experiment and print its table: ``python -m repro.experiments``.
+
+Pass experiment ids to run a subset, e.g.::
+
+    python -m repro.experiments fig3 fig10
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list) -> int:
+    requested = argv or list(ALL_EXPERIMENTS)
+    unknown = [name for name in requested if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(ALL_EXPERIMENTS)}")
+        return 2
+    for name in requested:
+        start = time.time()
+        result = ALL_EXPERIMENTS[name]()
+        elapsed = time.time() - start
+        print(result.render())
+        if "strategy" in result.columns and "budget_prefixes" in result.columns:
+            from repro.experiments.plotting import plot_benefit_curves
+
+            candidates = ("benefit_frac", "avg_improvement_ms", "estimated_frac")
+            value = next((c for c in candidates if c in result.columns), None)
+            if value is not None:
+                print()
+                print(plot_benefit_curves(result, value_column=value))
+        print(f"({name} ran in {elapsed:.1f} s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,57 @@
+"""Fig. 14 (Appendix E.1): full benefit ranges per strategy over budget.
+
+One-per-PoP strategies advertise via every peering at a PoP, exposing many
+possibly-poor ingresses per prefix: their Upper bound rises fast but Mean
+and Estimated stay low and the range is wide.  PAINTER reuses prefixes only
+across far-apart PoPs/disjoint cones, so its range is narrow; One-per-
+Peering has no uncertainty at all (one ingress per prefix).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.benefit import BenefitEvaluator
+from repro.core.routing_model import RoutingModel
+from repro.experiments.fig6 import BASELINES, painter_budget_configs
+from repro.experiments.harness import ExperimentResult, budget_grid
+from repro.scenario import Scenario, prototype_scenario
+
+
+def run_fig14(
+    scenario: Optional[Scenario] = None,
+    painter_max_budget: int = 25,
+) -> ExperimentResult:
+    scenario = scenario or prototype_scenario(seed=0, n_ugs=300)
+    evaluator = BenefitEvaluator(scenario, RoutingModel(scenario.catalog))
+    total_possible = scenario.total_possible_benefit()
+    n_ingresses = len(scenario.deployment)
+
+    result = ExperimentResult(
+        experiment_id="fig14",
+        title="Benefit ranges (lower/mean/estimated/upper) per strategy",
+        columns=[
+            "strategy",
+            "budget_prefixes",
+            "lower_frac",
+            "mean_frac",
+            "estimated_frac",
+            "upper_frac",
+        ],
+    )
+
+    budgets = budget_grid(painter_max_budget)
+    painter_configs = painter_budget_configs(scenario, budgets, learning_iterations=1)
+    for budget in budgets:
+        ev = evaluator.evaluate(painter_configs[budget]).as_fraction_of(total_possible)
+        result.add_row("painter", budget, ev.lower, ev.mean, ev.estimated, ev.upper)
+
+    for name, builder in BASELINES.items():
+        max_b = n_ingresses if name == "one_per_peering" else len(scenario.deployment.pops)
+        for budget in budget_grid(max_b):
+            config = builder(scenario, budget)
+            ev = evaluator.evaluate(config).as_fraction_of(total_possible)
+            result.add_row(
+                name, config.prefix_count, ev.lower, ev.mean, ev.estimated, ev.upper
+            )
+    return result

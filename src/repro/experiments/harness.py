@@ -1,0 +1,92 @@
+"""Common experiment plumbing: result tables and budget grids.
+
+Every ``figN`` module returns a :class:`ExperimentResult` whose rows mirror
+the series the paper plots, so benchmarks, tests, and EXPERIMENTS.md all
+consume the same artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+Cell = Union[str, int, float]
+
+
+@dataclass
+class ExperimentResult:
+    """A named table of rows reproducing one figure/table."""
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Tuple[Cell, ...]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.columns)}"
+            )
+        self.rows.append(tuple(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Cell]:
+        try:
+            index = list(self.columns).index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r}; have {list(self.columns)}") from None
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """Fixed-width table, printable to a terminal or a report."""
+        header = [str(c) for c in self.columns]
+        body = [[_fmt(cell) for cell in row] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def budget_grid(max_budget: int) -> List[int]:
+    """A roughly log-spaced grid of prefix budgets up to ``max_budget``."""
+    if max_budget < 1:
+        raise ValueError("max_budget must be >= 1")
+    grid = [1, 2, 3, 5, 8, 12, 18, 25, 40, 60, 90, 130, 200, 300, 450]
+    out = [b for b in grid if b < max_budget]
+    out.append(max_budget)
+    return out
+
+
+def config_prefix_subset(config, k: int):
+    """The greedy solution truncated to its first ``k`` prefixes.
+
+    Algorithm 1 fills prefixes in order, so the first ``k`` prefixes of a
+    budget-``N`` solution *are* the budget-``k`` solution — one solve yields
+    the whole benefit-vs-budget curve.
+    """
+    from repro.core.advertisement import AdvertisementConfig
+
+    subset = AdvertisementConfig()
+    for prefix in config.prefixes:
+        if prefix >= k:
+            continue
+        for pid in config.peerings_for(prefix):
+            subset.add(prefix, pid)
+    return subset

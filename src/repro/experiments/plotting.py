@@ -1,0 +1,109 @@
+"""Terminal plots for experiment results.
+
+Offline reproduction environments rarely have a plotting stack, so the
+experiment CLI renders its curves as ASCII: good enough to eyeball the
+shapes the paper's figures show (who dominates, where curves cross, how
+ranges narrow).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Marks assigned to series, in order.
+SERIES_MARKS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, size: int) -> int:
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(size - 1, max(0, int(round(position * (size - 1)))))
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    log_x: bool = False,
+) -> str:
+    """Render named (x, y) series on one canvas.
+
+    Non-finite points are skipped.  With ``log_x`` the x axis is log-scaled
+    (useful for prefix-budget sweeps, as in Fig. 6).
+    """
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+    points: List[Tuple[str, float, float]] = []
+    for name, values in series.items():
+        for x, y in values:
+            if math.isfinite(x) and math.isfinite(y):
+                if log_x and x <= 0:
+                    continue
+                points.append((name, math.log10(x) if log_x else x, y))
+    if not points:
+        raise ValueError("nothing to plot")
+
+    xs = [x for _n, x, _y in points]
+    ys = [y for _n, _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo - 1.0, y_hi + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    marks = {name: SERIES_MARKS[i % len(SERIES_MARKS)] for i, name in enumerate(series)}
+    for name, x, y in points:
+        col = _scale(x, x_lo, x_hi, width)
+        row = height - 1 - _scale(y, y_lo, y_hi, height)
+        canvas[row][col] = marks[name]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    gutter = max(len(top_label), len(bottom_label), len(y_label))
+    for row_idx, row in enumerate(canvas):
+        if row_idx == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_idx == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        elif row_idx == height // 2 and y_label:
+            prefix = y_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} |{''.join(row)}")
+    x_lo_label = f"{10 ** x_lo:.3g}" if log_x else f"{x_lo:.3g}"
+    x_hi_label = f"{10 ** x_hi:.3g}" if log_x else f"{x_hi:.3g}"
+    axis = f"{' ' * gutter} +{'-' * width}"
+    lines.append(axis)
+    footer = f"{' ' * gutter}  {x_lo_label}{x_label.center(width - len(x_lo_label) - len(x_hi_label))}{x_hi_label}"
+    lines.append(footer)
+    legend = "  ".join(f"{mark}={name}" for name, mark in marks.items())
+    lines.append(f"{' ' * gutter}  legend: {legend}")
+    return "\n".join(lines)
+
+
+def plot_benefit_curves(result, value_column: str = "benefit_frac") -> str:
+    """Plot an ExperimentResult with (strategy, budget, ..., value) rows."""
+    columns = list(result.columns)
+    strategy_idx = columns.index("strategy")
+    budget_idx = columns.index("budget_prefixes")
+    value_idx = columns.index(value_column)
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for row in result.rows:
+        series.setdefault(str(row[strategy_idx]), []).append(
+            (float(row[budget_idx]), float(row[value_idx]))
+        )
+    return ascii_plot(
+        series,
+        title=result.title,
+        x_label="prefix budget",
+        y_label=value_column,
+        log_x=True,
+    )

@@ -1,0 +1,290 @@
+"""Serialization: persist configurations and experiment artifacts as JSON.
+
+An operator running the Advertisement Orchestrator wants to version its
+outputs: the configuration that is live, the learning history that produced
+it, and the experiment tables backing a rollout decision.  Everything here
+round-trips through plain JSON — no pickle, no custom binary formats.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.core.advertisement import AdvertisementConfig
+from repro.core.orchestrator import IterationRecord, LearningResult
+from repro.core.routing_model import RoutingModel
+from repro.experiments.harness import ExperimentResult
+
+PathLike = Union[str, Path]
+
+_CONFIG_KIND = "painter-advertisement-config"
+_MODEL_KIND = "painter-routing-model"
+_LEARNING_KIND = "painter-learning-result"
+_EXPERIMENT_KIND = "painter-experiment-result"
+_FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised for malformed or mismatched documents."""
+
+
+def _check_header(document: Dict[str, Any], kind: str) -> None:
+    if not isinstance(document, dict):
+        raise SerializationError("document must be a JSON object")
+    if document.get("kind") != kind:
+        raise SerializationError(
+            f"expected kind {kind!r}, got {document.get('kind')!r}"
+        )
+    if document.get("version") != _FORMAT_VERSION:
+        raise SerializationError(f"unsupported version {document.get('version')!r}")
+
+
+# -- advertisement configurations ------------------------------------------
+
+
+def config_to_dict(config: AdvertisementConfig) -> Dict[str, Any]:
+    return {
+        "kind": _CONFIG_KIND,
+        "version": _FORMAT_VERSION,
+        "prefixes": {
+            str(prefix): sorted(config.peerings_for(prefix))
+            for prefix in config.prefixes
+        },
+    }
+
+
+def config_from_dict(document: Dict[str, Any]) -> AdvertisementConfig:
+    _check_header(document, _CONFIG_KIND)
+    prefixes = document.get("prefixes")
+    if not isinstance(prefixes, dict):
+        raise SerializationError("missing 'prefixes' mapping")
+    config = AdvertisementConfig()
+    for prefix_str, peering_ids in prefixes.items():
+        try:
+            prefix = int(prefix_str)
+        except ValueError:
+            raise SerializationError(f"bad prefix key {prefix_str!r}") from None
+        if not isinstance(peering_ids, list):
+            raise SerializationError(f"peerings of {prefix_str} must be a list")
+        for pid in peering_ids:
+            if not isinstance(pid, int):
+                raise SerializationError(f"bad peering id {pid!r}")
+            config.add(prefix, pid)
+    return config
+
+
+def save_config(config: AdvertisementConfig, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(config_to_dict(config), indent=2))
+
+
+def load_config(path: PathLike) -> AdvertisementConfig:
+    return config_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- learning results ----------------------------------------------------------
+
+
+def learning_result_to_dict(result: LearningResult) -> Dict[str, Any]:
+    return {
+        "kind": _LEARNING_KIND,
+        "version": _FORMAT_VERSION,
+        "iterations": [
+            {
+                "iteration": record.iteration,
+                "config": config_to_dict(record.config),
+                "expected_benefit": record.expected_benefit,
+                "realized_benefit": record.realized_benefit,
+                "upper_benefit": record.upper_benefit,
+                "estimated_benefit": record.estimated_benefit,
+                "lower_benefit": record.lower_benefit,
+                "new_preferences": record.new_preferences,
+            }
+            for record in result.iterations
+        ],
+    }
+
+
+def learning_result_from_dict(document: Dict[str, Any]) -> LearningResult:
+    _check_header(document, _LEARNING_KIND)
+    iterations = document.get("iterations")
+    if not isinstance(iterations, list):
+        raise SerializationError("missing 'iterations' list")
+    result = LearningResult()
+    for item in iterations:
+        try:
+            result.iterations.append(
+                IterationRecord(
+                    iteration=int(item["iteration"]),
+                    config=config_from_dict(item["config"]),
+                    expected_benefit=float(item["expected_benefit"]),
+                    realized_benefit=float(item["realized_benefit"]),
+                    upper_benefit=float(item["upper_benefit"]),
+                    estimated_benefit=float(item["estimated_benefit"]),
+                    lower_benefit=float(item["lower_benefit"]),
+                    new_preferences=int(item["new_preferences"]),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"bad iteration record: {exc}") from exc
+    return result
+
+
+def save_learning_result(result: LearningResult, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(learning_result_to_dict(result), indent=2))
+
+
+def load_learning_result(path: PathLike) -> LearningResult:
+    return learning_result_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- experiment results ----------------------------------------------------------
+
+
+def experiment_result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    return {
+        "kind": _EXPERIMENT_KIND,
+        "version": _FORMAT_VERSION,
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [list(row) for row in result.rows],
+        "notes": list(result.notes),
+    }
+
+
+def experiment_result_from_dict(document: Dict[str, Any]) -> ExperimentResult:
+    _check_header(document, _EXPERIMENT_KIND)
+    try:
+        result = ExperimentResult(
+            experiment_id=str(document["experiment_id"]),
+            title=str(document["title"]),
+            columns=[str(c) for c in document["columns"]],
+        )
+        for row in document["rows"]:
+            result.add_row(*row)
+        for note in document.get("notes", []):
+            result.add_note(str(note))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"bad experiment document: {exc}") from exc
+    return result
+
+
+def save_experiment_result(result: ExperimentResult, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(experiment_result_to_dict(result), indent=2))
+
+
+def load_experiment_result(path: PathLike) -> ExperimentResult:
+    return experiment_result_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- routing-model preference state ------------------------------------------
+
+
+def routing_model_to_dict(model: RoutingModel) -> Dict[str, Any]:
+    return {
+        "kind": _MODEL_KIND,
+        "version": _FORMAT_VERSION,
+        "d_reuse_km": model.d_reuse_km,
+        "preferences": {
+            str(ug_id): sorted(
+                [list(pair) + [sorted(context)] for pair, context in pairs.items()]
+            )
+            for ug_id, pairs in model.snapshot_preferences().items()
+        },
+    }
+
+
+def restore_routing_model(model: RoutingModel, document: Dict[str, Any]) -> None:
+    """Load saved preferences into an existing model (catalog-bound)."""
+    _check_header(document, _MODEL_KIND)
+    preferences = document.get("preferences")
+    if not isinstance(preferences, dict):
+        raise SerializationError("missing 'preferences' mapping")
+    try:
+        snapshot = {
+            int(ug_id): {
+                (int(w), int(l)): frozenset(int(a) for a in context)
+                for w, l, context in pairs
+            }
+            for ug_id, pairs in preferences.items()
+        }
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"bad preference pairs: {exc}") from exc
+    model.restore_preferences(snapshot)
+
+
+def save_routing_model(model: RoutingModel, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(routing_model_to_dict(model), indent=2))
+
+
+def load_routing_model_into(model: RoutingModel, path: PathLike) -> None:
+    restore_routing_model(model, json.loads(Path(path).read_text()))
+
+
+# -- scenario manifests -------------------------------------------------------
+
+_MANIFEST_KIND = "painter-scenario-manifest"
+
+
+def scenario_manifest(scenario) -> Dict[str, Any]:
+    """A rebuildable description of a scenario (configs + seeds).
+
+    Worlds are fully determined by their configuration dataclasses, so the
+    manifest is all anyone needs to regenerate the exact world behind a
+    result — the reproducibility artifact to archive next to experiment
+    outputs.
+    """
+    from dataclasses import asdict
+
+    topo_cfg = asdict(scenario.topology.config)
+    latency_cfg = asdict(scenario.latency_model.config)
+    return {
+        "kind": _MANIFEST_KIND,
+        "version": _FORMAT_VERSION,
+        "name": scenario.name,
+        "topology": topo_cfg,
+        "latency": latency_cfg,
+        "n_user_groups": len(scenario.user_groups),
+        "n_peerings": len(scenario.deployment),
+    }
+
+
+def rebuild_from_manifest(document: Dict[str, Any], ug_config=None):
+    """Rebuild a scenario world from a manifest.
+
+    ``ug_config`` must be supplied when the manifest's population should be
+    regenerated with specific parameters; by default the UG count recorded
+    in the manifest is used with the topology seed + 1 (the preset
+    convention).
+    """
+    from repro.measurement.latency_model import LatencyModelConfig
+    from repro.scenario import build_scenario
+    from repro.topology.builder import TopologyConfig
+    from repro.usergroups.generation import UserGroupConfig
+
+    _check_header(document, _MANIFEST_KIND)
+    try:
+        topo_cfg = TopologyConfig(**document["topology"])
+        latency_cfg = LatencyModelConfig(**document["latency"])
+        if ug_config is None:
+            ug_config = UserGroupConfig(
+                seed=topo_cfg.seed + 1, n_ugs=int(document["n_user_groups"])
+            )
+        return build_scenario(
+            name=str(document["name"]),
+            topology_config=topo_cfg,
+            ug_config=ug_config,
+            latency_config=latency_cfg,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"bad manifest: {exc}") from exc
+
+
+def save_scenario_manifest(scenario, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(scenario_manifest(scenario), indent=2))
+
+
+def load_scenario_from_manifest(path: PathLike, ug_config=None):
+    return rebuild_from_manifest(json.loads(Path(path).read_text()), ug_config=ug_config)

@@ -1,0 +1,127 @@
+"""Ground-truth latency between user groups and cloud ingresses.
+
+This is the synthetic stand-in for the physical Internet the paper measured
+with RIPE Atlas and Azure's measurement system.  Latency from a UG through a
+peering decomposes into:
+
+* propagation over fiber at geodesic distance (UG metro -> peering's PoP),
+* a per-UG last-mile constant,
+* a hidden per-(UG AS, peer AS) *inflation penalty* — circuitous intra-AS
+  routing.  The paper found such inflation concentrated at transit providers
+  ("those transit providers tended to inflate routes even over very large
+  distances"), so transit peerings draw larger penalties more often.
+
+The model also supports a ``day`` parameter: latencies drift slowly and
+peerings occasionally suffer day-scale degradations, which drives the
+benefit-retention-over-a-month experiment (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.util import stable_rng
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.topology.cloud import Peering
+from repro.topology.geo import fiber_rtt_ms, haversine_km
+from repro.usergroups.usergroup import UserGroup
+
+
+@dataclass(frozen=True)
+class LatencyModelConfig:
+    """Distributional knobs of the ground-truth model."""
+
+    seed: int = 0
+    #: Last-mile RTT added per UG, uniform in [min, max] ms.
+    last_mile_min_ms: float = 1.0
+    last_mile_max_ms: float = 12.0
+    #: Probability a (UG AS, peer AS) pair suffers large inflation.
+    inflation_prob_peer: float = 0.12
+    inflation_prob_transit: float = 0.30
+    #: Inflation penalty range (ms) when present.
+    inflation_min_ms: float = 20.0
+    inflation_max_ms: float = 150.0
+    #: Small always-present intra-AS wiggle (ms), uniform in [0, x].
+    base_wiggle_ms: float = 5.0
+    #: Day-scale drift amplitude (ms) and event characteristics (Fig. 7).
+    drift_amplitude_ms: float = 4.0
+    event_prob_per_peering_day: float = 0.10
+    event_penalty_ms: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.last_mile_min_ms < 0 or self.last_mile_max_ms < self.last_mile_min_ms:
+            raise ValueError("invalid last-mile range")
+        if not 0 <= self.inflation_prob_peer <= 1 or not 0 <= self.inflation_prob_transit <= 1:
+            raise ValueError("inflation probabilities must be in [0,1]")
+
+
+class LatencyModel:
+    """Deterministic ground-truth min-RTT oracle.
+
+    All values derive from ``(seed, identifiers)`` hashes, so the model needs
+    no precomputation, is stable across calls, and scales to any population.
+    """
+
+    def __init__(self, config: Optional[LatencyModelConfig] = None) -> None:
+        self._config = config or LatencyModelConfig()
+        self._cache: Dict[Tuple[int, int, int], float] = {}
+
+    @property
+    def config(self) -> LatencyModelConfig:
+        return self._config
+
+    def _rng(self, *key: object) -> "random.Random":
+        return stable_rng(self._config.seed, *key)
+
+    # -- static components ---------------------------------------------------
+
+    def last_mile_ms(self, ug: UserGroup) -> float:
+        rng = self._rng("last-mile", ug.asn, ug.metro.name)
+        return rng.uniform(self._config.last_mile_min_ms, self._config.last_mile_max_ms)
+
+    def inflation_penalty_ms(self, ug: UserGroup, peering: Peering) -> float:
+        """Hidden intra-AS inflation for this (UG AS, peer AS) pair."""
+        cfg = self._config
+        rng = self._rng("inflate", ug.asn, peering.peer_asn)
+        prob = cfg.inflation_prob_transit if peering.is_transit else cfg.inflation_prob_peer
+        if rng.random() < prob:
+            return rng.uniform(cfg.inflation_min_ms, cfg.inflation_max_ms)
+        return rng.uniform(0.0, cfg.base_wiggle_ms)
+
+    def propagation_ms(self, ug: UserGroup, peering: Peering) -> float:
+        distance = haversine_km(ug.location, peering.pop.location)
+        return fiber_rtt_ms(distance)
+
+    # -- day-varying components (Fig. 7) -------------------------------------
+
+    def drift_ms(self, ug: UserGroup, peering: Peering, day: int) -> float:
+        rng = self._rng("drift", ug.asn, peering.peering_id, day)
+        return rng.uniform(0.0, self._config.drift_amplitude_ms)
+
+    def event_penalty_ms(self, peering: Peering, day: int) -> float:
+        """Day-scale degradation affecting everyone through a peering."""
+        rng = self._rng("event", peering.peering_id, day)
+        if rng.random() < self._config.event_prob_per_peering_day:
+            return self._config.event_penalty_ms * rng.uniform(0.5, 1.5)
+        return 0.0
+
+    # -- the oracle ----------------------------------------------------------
+
+    def latency_ms(self, ug: UserGroup, peering: Peering, day: int = 0) -> float:
+        """True min-RTT from ``ug`` through ``peering``, on ``day``."""
+        key = (ug.ug_id, peering.peering_id, day)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        value = (
+            self.propagation_ms(ug, peering)
+            + self.last_mile_ms(ug)
+            + self.inflation_penalty_ms(ug, peering)
+        )
+        if day:
+            value += self.drift_ms(ug, peering, day) + self.event_penalty_ms(peering, day)
+        self._cache[key] = value
+        return value

@@ -1,0 +1,5 @@
+"""Ground-truth routing oracle used by experiments and the learning loop."""
+
+from repro.routing.ground_truth import GroundTruthRouting
+
+__all__ = ["GroundTruthRouting"]

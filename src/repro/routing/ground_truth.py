@@ -1,0 +1,188 @@
+"""Ground truth: which ingress a UG *actually* uses for an advertisement.
+
+The Advertisement Orchestrator can only predict ingresses; reality is
+decided by every AS on the path.  This oracle composes three layers:
+
+1. **AS-level BGP** — propagate the advertisement over the AS graph; the
+   UG's AS picks a best route, fixing the neighbor AS through which traffic
+   enters the cloud.
+2. **Exit policy inside the entering AS** — among that AS's *advertised*
+   peerings, hot-potato ASes exit nearest the traffic source, while
+   cold-potato ASes drag traffic to a preferred exit regardless of source.
+   The latter reproduces the paper's observed pathologies ("many New York
+   users preferred an ingress in Amsterdam"), concentrated at transit
+   providers.
+3. **Latency** — the ground-truth latency model evaluated at the chosen
+   peering.
+
+The orchestrator never sees layers 1-2 directly; it observes outcomes one
+advertisement at a time and must learn the hidden preferences (§3.1).
+"""
+
+from __future__ import annotations
+
+from repro.util import stable_rng
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bgp.route import Route
+from repro.bgp.simulator import BGPSimulator
+from repro.measurement.latency_model import LatencyModel
+from repro.topology.builder import CLOUD_ASN, Topology
+from repro.topology.cloud import Peering
+from repro.topology.geo import haversine_km
+from repro.usergroups.usergroup import UserGroup
+
+
+class GroundTruthRouting:
+    """Oracle mapping (UG, advertised peering set) -> actual ingress."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        latency_model: LatencyModel,
+        seed: int = 0,
+        cold_potato_prob_transit: float = 0.45,
+        cold_potato_prob_other: float = 0.15,
+    ) -> None:
+        self._topology = topology
+        self._model = latency_model
+        self._seed = seed
+        self._sim = BGPSimulator(topology.graph, CLOUD_ASN, tie_break_seed=seed)
+        self._cold_transit = cold_potato_prob_transit
+        self._cold_other = cold_potato_prob_other
+        self._propagation_cache: Dict[FrozenSet[int], Dict[int, Route]] = {}
+        self._exit_policy_cache: Dict[int, bool] = {}
+        self._exit_rank_cache: Dict[int, Dict[str, float]] = {}
+        self._all_peering_ids = frozenset(p.peering_id for p in topology.deployment.peerings)
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self._model
+
+    @property
+    def anycast_peering_ids(self) -> FrozenSet[int]:
+        """The default configuration D: the anycast prefix via every peering."""
+        return self._all_peering_ids
+
+    # -- layer 1: AS-level propagation --------------------------------------
+
+    def _routes_for(self, peer_asns: FrozenSet[int]) -> Dict[int, Route]:
+        cached = self._propagation_cache.get(peer_asns)
+        if cached is None:
+            cached = self._sim.propagate("prefix", sorted(peer_asns))
+            self._propagation_cache[peer_asns] = cached
+        return cached
+
+    def _entering_asn(self, ug: UserGroup, peer_asns: FrozenSet[int]) -> Optional[int]:
+        routes = self._routes_for(peer_asns)
+        route = routes.get(ug.asn)
+        if route is None:
+            return None
+        # as_path ends at the cloud; the AS before it is the entry neighbor.
+        if len(route.as_path) == 1:  # UG's AS peers directly and was announced to
+            return ug.asn
+        return route.as_path[-2]
+
+    def as_path(
+        self, ug: UserGroup, advertised: Iterable[int]
+    ) -> Optional[Tuple[int, ...]]:
+        """AS path (UG's AS exclusive, cloud inclusive) for this advertisement."""
+        peerings = self._resolve(advertised)
+        peer_asns = frozenset(p.peer_asn for p in peerings)
+        if not peer_asns:
+            return None
+        routes = self._routes_for(peer_asns)
+        route = routes.get(ug.asn)
+        return None if route is None else route.as_path
+
+    # -- layer 2: exit policy -------------------------------------------------
+
+    def _is_cold_potato(self, asn: int) -> bool:
+        cached = self._exit_policy_cache.get(asn)
+        if cached is None:
+            asys = self._topology.graph.get_as(asn) if asn in self._topology.graph else None
+            prob = (
+                self._cold_transit
+                if asys is not None and asys.is_transit
+                else self._cold_other
+            )
+            cached = stable_rng(self._seed, "cold", asn).random() < prob
+            self._exit_policy_cache[asn] = cached
+        return cached
+
+    def _exit_rank(self, asn: int) -> Dict[str, float]:
+        """Cold-potato ASes have a fixed preference over PoP exits."""
+        cached = self._exit_rank_cache.get(asn)
+        if cached is None:
+            rng = stable_rng(self._seed, "exit-rank", asn)
+            pops = sorted(pop.name for pop in self._topology.deployment.pops)
+            ranks = list(range(len(pops)))
+            rng.shuffle(ranks)
+            cached = {name: float(rank) for name, rank in zip(pops, ranks)}
+            self._exit_rank_cache[asn] = cached
+        return cached
+
+    def _choose_exit(
+        self, ug: UserGroup, entering_asn: int, candidates: Sequence[Peering]
+    ) -> Peering:
+        if len(candidates) == 1:
+            return candidates[0]
+        if self._is_cold_potato(entering_asn):
+            ranks = self._exit_rank(entering_asn)
+            return min(candidates, key=lambda p: (ranks[p.pop.name], p.peering_id))
+        # Hot potato: nearest exit to the traffic source, with a small hidden
+        # per-(AS, UG-AS, PoP) wobble standing in for IGP detail.
+        def hot_key(peering: Peering) -> Tuple[float, int]:
+            rng = stable_rng(self._seed, "hot", entering_asn, ug.asn, peering.pop.name)
+            wobble = 1.0 + rng.uniform(-0.15, 0.15)
+            return (haversine_km(ug.location, peering.pop.location) * wobble, peering.peering_id)
+
+        return min(candidates, key=hot_key)
+
+    # -- public API -------------------------------------------------------------
+
+    def _resolve(self, advertised: Iterable[int]) -> List[Peering]:
+        deployment = self._topology.deployment
+        return [deployment.peering(pid) for pid in advertised]
+
+    def ingress_for(self, ug: UserGroup, advertised: Iterable[int]) -> Optional[Peering]:
+        """The peering ``ug``'s traffic actually enters through, or ``None``.
+
+        ``advertised`` is the set of peering ids a single prefix is announced
+        via.  ``None`` means the UG has no route to that prefix.
+        """
+        peerings = self._resolve(advertised)
+        if not peerings:
+            return None
+        by_asn: Dict[int, List[Peering]] = {}
+        for peering in peerings:
+            by_asn.setdefault(peering.peer_asn, []).append(peering)
+        entering = self._entering_asn(ug, frozenset(by_asn))
+        if entering is None:
+            return None
+        return self._choose_exit(ug, entering, by_asn[entering])
+
+    def latency_for(
+        self, ug: UserGroup, advertised: Iterable[int], day: int = 0
+    ) -> Optional[float]:
+        """True latency via the actually-chosen ingress; ``None`` if no route."""
+        ingress = self.ingress_for(ug, advertised)
+        if ingress is None:
+            return None
+        return self._model.latency_ms(ug, ingress, day=day)
+
+    # -- anycast (the default configuration D) ---------------------------------
+
+    def anycast_ingress(self, ug: UserGroup) -> Optional[Peering]:
+        return self.ingress_for(ug, self._all_peering_ids)
+
+    def anycast_latency_ms(self, ug: UserGroup, day: int = 0) -> Optional[float]:
+        return self.latency_for(ug, self._all_peering_ids, day=day)
+
+    def default_as_path(self, ug: UserGroup) -> Optional[Tuple[int, ...]]:
+        """AS path of the UG's anycast (default) route, cloud inclusive."""
+        return self.as_path(ug, self._all_peering_ids)

@@ -1,0 +1,172 @@
+"""Scenario: one fully-assembled synthetic world.
+
+A scenario bundles everything an experiment needs — topology, user groups,
+policy-compliant ingress catalog, ground-truth latency, ground-truth routing,
+and per-UG anycast baselines — constructed deterministically from one seed.
+
+Two presets mirror the paper's two evaluation settings:
+
+* :func:`prototype_scenario` — PEERING/Vultr scale (25 PoPs, hundreds of
+  neighbor ASes) where real advertisements could be conducted (§5.1.1);
+* :func:`azure_scenario` — a larger deployment standing in for Azure's
+  (~200 PoPs, thousands of peerings), where the paper relied on estimated
+  and simulated measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.measurement.latency_model import LatencyModel, LatencyModelConfig
+from repro.routing.ground_truth import GroundTruthRouting
+from repro.topology.builder import Topology, TopologyConfig, build_topology
+from repro.usergroups.generation import UserGroupConfig, generate_user_groups
+from repro.usergroups.ingresses import IngressCatalog
+from repro.usergroups.usergroup import UserGroup
+
+
+@dataclass
+class Scenario:
+    """A complete synthetic evaluation world."""
+
+    name: str
+    topology: Topology
+    user_groups: List[UserGroup]
+    catalog: IngressCatalog
+    latency_model: LatencyModel
+    routing: GroundTruthRouting
+    _anycast_cache: Dict[int, float] = field(default_factory=dict, repr=False)
+
+    @property
+    def deployment(self):
+        return self.topology.deployment
+
+    @property
+    def graph(self):
+        return self.topology.graph
+
+    def anycast_latency_ms(self, ug: UserGroup, day: int = 0) -> float:
+        """The UG's latency under the default anycast configuration D.
+
+        Every UG has an anycast route (the anycast prefix is advertised via
+        every peering, and every UG has at least the transit ingresses), so
+        this never returns ``None``.
+        """
+        if day == 0 and ug.ug_id in self._anycast_cache:
+            return self._anycast_cache[ug.ug_id]
+        latency = self.routing.anycast_latency_ms(ug, day=day)
+        if latency is None:
+            raise RuntimeError(f"{ug} unexpectedly has no anycast route")
+        if day == 0:
+            self._anycast_cache[ug.ug_id] = latency
+        return latency
+
+    def anycast_latencies(self, day: int = 0) -> Dict[int, float]:
+        return {ug.ug_id: self.anycast_latency_ms(ug, day=day) for ug in self.user_groups}
+
+    def best_possible_latency_ms(self, ug: UserGroup, day: int = 0) -> float:
+        """Latency via the UG's best policy-compliant ingress (oracle bound).
+
+        This is what the One-per-Peering strategy achieves at full budget —
+        the denominator of "percent of possible benefit" in Fig. 6a.
+        """
+        latencies = [
+            self.latency_model.latency_ms(ug, peering, day=day)
+            for peering in self.catalog.ingresses(ug)
+        ]
+        if not latencies:
+            raise RuntimeError(f"{ug} has no policy-compliant ingress")
+        return min(latencies)
+
+    def total_possible_benefit(self, day: int = 0) -> float:
+        """Volume-weighted sum of (anycast - best possible) over all UGs."""
+        total = 0.0
+        for ug in self.user_groups:
+            improvement = self.anycast_latency_ms(ug, day=day) - self.best_possible_latency_ms(
+                ug, day=day
+            )
+            total += ug.volume * max(0.0, improvement)
+        return total
+
+    def describe(self) -> str:
+        return (
+            f"scenario {self.name!r}: {self.deployment.describe()}; "
+            f"{len(self.user_groups)} UGs"
+        )
+
+
+def build_scenario(
+    name: str,
+    topology_config: TopologyConfig,
+    ug_config: UserGroupConfig,
+    latency_config: Optional[LatencyModelConfig] = None,
+    routing_seed: Optional[int] = None,
+) -> Scenario:
+    """Assemble a scenario from explicit configs (all seeded)."""
+    topology = build_topology(topology_config)
+    ugs = generate_user_groups(topology, ug_config)
+    catalog = IngressCatalog(topology, ugs)
+    latency_model = LatencyModel(latency_config or LatencyModelConfig(seed=topology_config.seed))
+    routing = GroundTruthRouting(
+        topology,
+        latency_model,
+        seed=topology_config.seed if routing_seed is None else routing_seed,
+    )
+    return Scenario(
+        name=name,
+        topology=topology,
+        user_groups=ugs,
+        catalog=catalog,
+        latency_model=latency_model,
+        routing=routing,
+    )
+
+
+def prototype_scenario(seed: int = 0, n_ugs: int = 400) -> Scenario:
+    """PEERING/Vultr-prototype scale: 25 PoPs, a few hundred neighbor ASes."""
+    return build_scenario(
+        name="prototype",
+        topology_config=TopologyConfig(
+            seed=seed,
+            n_pops=25,
+            n_tier1=5,
+            n_transit=12,
+            n_regional=60,
+            n_stub=300,
+        ),
+        ug_config=UserGroupConfig(seed=seed + 1, n_ugs=n_ugs),
+    )
+
+
+def azure_scenario(seed: int = 0, n_ugs: int = 1200) -> Scenario:
+    """Azure-like scale: more PoPs and far more peerings per PoP."""
+    return build_scenario(
+        name="azure-like",
+        topology_config=TopologyConfig(
+            seed=seed,
+            n_pops=40,
+            n_tier1=8,
+            n_transit=24,
+            n_regional=160,
+            n_stub=900,
+            regional_peering_prob=0.7,
+        ),
+        ug_config=UserGroupConfig(seed=seed + 1, n_ugs=n_ugs),
+    )
+
+
+def tiny_scenario(seed: int = 0, n_ugs: int = 60) -> Scenario:
+    """Small world for fast unit tests."""
+    return build_scenario(
+        name="tiny",
+        topology_config=TopologyConfig(
+            seed=seed,
+            n_pops=6,
+            n_tier1=2,
+            n_transit=4,
+            n_regional=12,
+            n_stub=50,
+        ),
+        ug_config=UserGroupConfig(seed=seed + 1, n_ugs=n_ugs),
+    )

@@ -1,0 +1,5 @@
+"""Discrete-event simulation engine."""
+
+from repro.simulation.events import EventLoop
+
+__all__ = ["EventLoop"]

@@ -1,0 +1,88 @@
+"""A minimal discrete-event simulation engine.
+
+Drives the Traffic Manager experiments (Fig. 10), where what matters is
+*timing*: failure detection within ~1 RTT, BGP reconvergence over seconds,
+DNS failover over minutes.  Events are (time, sequence, callback) triples on
+a heap; callbacks may schedule further events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+Callback = Callable[["EventLoop"], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time_s: float
+    sequence: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventLoop:
+    """Heap-based event loop with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now_s(self) -> float:
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule_at(self, time_s: float, callback: Callback) -> _ScheduledEvent:
+        """Schedule ``callback`` at an absolute time (>= now)."""
+        if math.isnan(time_s) or time_s < self._now:
+            raise ValueError(f"cannot schedule at {time_s} (now={self._now})")
+        event = _ScheduledEvent(time_s=time_s, sequence=next(self._sequence), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay_s: float, callback: Callback) -> _ScheduledEvent:
+        """Schedule ``callback`` after a relative delay (>= 0)."""
+        if delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self._now + delay_s, callback)
+
+    def cancel(self, event: _ScheduledEvent) -> None:
+        event.cancelled = True
+
+    def run_until(self, end_time_s: float) -> None:
+        """Process events with time <= ``end_time_s``; clock ends there."""
+        while self._heap and self._heap[0].time_s <= end_time_s:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time_s
+            self._processed += 1
+            event.callback(self)
+        self._now = max(self._now, end_time_s)
+
+    def run_all(self, max_events: int = 1_000_000) -> None:
+        """Drain the queue entirely (bounded against runaway scheduling)."""
+        for _ in range(max_events):
+            if not self._heap:
+                return
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time_s
+            self._processed += 1
+            event.callback(self)
+        raise RuntimeError(f"exceeded {max_events} events; runaway schedule?")

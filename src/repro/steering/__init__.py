@@ -1,0 +1,41 @@
+"""Steering-mechanism comparisons: granularity, DNS steering, SD-WAN."""
+
+from repro.steering.catchment import CatchmentAnalysis, CatchmentEntry
+from repro.steering.dns_steering import DnsSteeringResult, evaluate_dns_steering
+from repro.steering.pecan import best_single_isp, compare_pecan_to_painter, pecan_config
+from repro.steering.granularity import (
+    BUCKET_LABELS,
+    GRANULARITY_BUCKETS,
+    GranularityAnalysis,
+    PopGranularity,
+)
+from repro.steering.resilience import (
+    AvoidanceResult,
+    ExposureComparison,
+    PainterView,
+    ResilienceAnalysis,
+    fraction_fully_avoidable,
+)
+from repro.steering.sdwan import SdwanView, sdwan_path_count, sdwan_view
+
+__all__ = [
+    "AvoidanceResult",
+    "CatchmentAnalysis",
+    "CatchmentEntry",
+    "BUCKET_LABELS",
+    "DnsSteeringResult",
+    "ExposureComparison",
+    "GRANULARITY_BUCKETS",
+    "GranularityAnalysis",
+    "PainterView",
+    "best_single_isp",
+    "compare_pecan_to_painter",
+    "pecan_config",
+    "PopGranularity",
+    "ResilienceAnalysis",
+    "SdwanView",
+    "evaluate_dns_steering",
+    "fraction_fully_avoidable",
+    "sdwan_path_count",
+    "sdwan_view",
+]

@@ -1,0 +1,182 @@
+"""Traffic-control granularity analysis (Fig. 9a).
+
+For each steering mechanism, what fraction of a PoP's ingress traffic moves
+*together* when the mechanism acts?
+
+* **BGP** — updating an announcement shifts all traffic of a
+  (peering, user AS) pair at once (the paper's optimistic bound using
+  community-targeted updates);
+* **DNS** — changing an answer shifts all traffic directed by one recursive
+  resolver;
+* **PAINTER** — steers individual flows, so all traffic falls in the finest
+  bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dns.resolvers import ResolverAssignment
+from repro.scenario import Scenario
+
+#: Fig. 9a's precision buckets: fraction-of-PoP-traffic a single control
+#: action moves, from finest to coarsest.
+GRANULARITY_BUCKETS: Tuple[Tuple[float, float], ...] = (
+    (0.0, 0.0001),
+    (0.0001, 0.001),
+    (0.001, 0.01),
+    (0.01, 0.1),
+    (0.1, 1.0 + 1e-9),
+)
+
+BUCKET_LABELS: Tuple[str, ...] = (
+    "P<=0.01%",
+    "0.01%<=P<0.1%",
+    "0.1%<=P<1%",
+    "1%<=P<10%",
+    "10%<=P<100%",
+)
+
+
+@dataclass(frozen=True)
+class PopGranularity:
+    """Per-PoP volume shares by control-unit size, for one mechanism."""
+
+    pop_name: str
+    mechanism: str
+    #: Fraction of PoP volume in each :data:`GRANULARITY_BUCKETS` bucket.
+    bucket_shares: Tuple[float, ...]
+
+    def share_finer_than(self, fraction: float) -> float:
+        """Volume share controlled at units smaller than ``fraction``."""
+        total = 0.0
+        for (low, high), share in zip(GRANULARITY_BUCKETS, self.bucket_shares):
+            if high <= fraction:
+                total += share
+        return total
+
+
+def _bucket_shares(unit_volumes: Sequence[float], pop_volume: float) -> Tuple[float, ...]:
+    shares = [0.0] * len(GRANULARITY_BUCKETS)
+    if pop_volume <= 0:
+        return tuple(shares)
+    for volume in unit_volumes:
+        fraction = volume / pop_volume
+        for index, (low, high) in enumerate(GRANULARITY_BUCKETS):
+            if low <= fraction < high or (index == 0 and fraction <= low):
+                shares[index] += fraction
+                break
+        else:  # fraction == 1.0 edge
+            shares[-1] += fraction
+    return tuple(shares)
+
+
+class GranularityAnalysis:
+    """Computes Fig. 9a's per-PoP granularity profile for each mechanism."""
+
+    def __init__(self, scenario: Scenario, resolvers: ResolverAssignment) -> None:
+        self._scenario = scenario
+        self._resolvers = resolvers
+        # Anycast ingress decides which PoP each UG's traffic arrives at.
+        self._ingress_by_ug: Dict[int, Tuple[str, int]] = {}
+        for ug in scenario.user_groups:
+            peering = scenario.routing.anycast_ingress(ug)
+            assert peering is not None
+            self._ingress_by_ug[ug.ug_id] = (peering.pop.name, peering.peering_id)
+
+    def pop_volumes(self) -> Dict[str, float]:
+        volumes: Dict[str, float] = {}
+        for ug in self._scenario.user_groups:
+            pop_name, _pid = self._ingress_by_ug[ug.ug_id]
+            volumes[pop_name] = volumes.get(pop_name, 0.0) + ug.volume
+        return volumes
+
+    def top_pops(self, count: int = 10) -> List[str]:
+        volumes = self.pop_volumes()
+        return sorted(volumes, key=lambda name: -volumes[name])[:count]
+
+    def _units_bgp(self, pop_name: str) -> List[float]:
+        """(peering, user AS) volumes at one PoP."""
+        units: Dict[Tuple[int, int], float] = {}
+        for ug in self._scenario.user_groups:
+            name, pid = self._ingress_by_ug[ug.ug_id]
+            if name != pop_name:
+                continue
+            key = (pid, ug.asn)
+            units[key] = units.get(key, 0.0) + ug.volume
+        return list(units.values())
+
+    def _units_dns(self, pop_name: str) -> List[float]:
+        """Per-resolver volumes at one PoP."""
+        units: Dict[int, float] = {}
+        for ug in self._scenario.user_groups:
+            name, _pid = self._ingress_by_ug[ug.ug_id]
+            if name != pop_name:
+                continue
+            resolver = self._resolvers.resolver_for(ug)
+            units[resolver.resolver_id] = units.get(resolver.resolver_id, 0.0) + ug.volume
+        return list(units.values())
+
+    def _painter_shares(
+        self, pop_name: str, pop_volume: float, flows_per_volume: float = 1e6
+    ) -> Tuple[float, ...]:
+        """Per-flow control: bucket each UG's volume by its *flow* size.
+
+        A UG of volume v carries ~v*flows_per_volume concurrent flows, so a
+        single control action moves v/n_flows of the PoP — computed directly
+        instead of materializing the flows.
+        """
+        shares = [0.0] * len(GRANULARITY_BUCKETS)
+        if pop_volume <= 0:
+            return tuple(shares)
+        for ug in self._scenario.user_groups:
+            name, _pid = self._ingress_by_ug[ug.ug_id]
+            if name != pop_name:
+                continue
+            n_flows = max(1, int(ug.volume * flows_per_volume))
+            unit_fraction = (ug.volume / n_flows) / pop_volume
+            for index, (low, high) in enumerate(GRANULARITY_BUCKETS):
+                if unit_fraction < high or index == len(GRANULARITY_BUCKETS) - 1:
+                    shares[index] += ug.volume / pop_volume
+                    break
+        return tuple(shares)
+
+    def analyze_pop(self, pop_name: str) -> Dict[str, PopGranularity]:
+        pop_volume = self.pop_volumes().get(pop_name, 0.0)
+        result = {}
+        for mechanism, units in (
+            ("bgp", self._units_bgp(pop_name)),
+            ("dns", self._units_dns(pop_name)),
+        ):
+            shares = _bucket_shares(units, pop_volume)
+            result[mechanism] = PopGranularity(
+                pop_name=pop_name, mechanism=mechanism, bucket_shares=shares
+            )
+        result["painter"] = PopGranularity(
+            pop_name=pop_name,
+            mechanism="painter",
+            bucket_shares=self._painter_shares(pop_name, pop_volume),
+        )
+        return result
+
+    def analyze_all(self) -> Dict[str, PopGranularity]:
+        """The 'All' column: aggregate over every PoP, per mechanism."""
+        total_volume = sum(self.pop_volumes().values())
+        aggregated: Dict[str, List[float]] = {
+            "bgp": [0.0] * len(GRANULARITY_BUCKETS),
+            "dns": [0.0] * len(GRANULARITY_BUCKETS),
+            "painter": [0.0] * len(GRANULARITY_BUCKETS),
+        }
+        for pop_name, volume in self.pop_volumes().items():
+            per_pop = self.analyze_pop(pop_name)
+            weight = volume / total_volume if total_volume else 0.0
+            for mechanism, granularity in per_pop.items():
+                for index, share in enumerate(granularity.bucket_shares):
+                    aggregated[mechanism][index] += share * weight
+        return {
+            mechanism: PopGranularity(
+                pop_name="all", mechanism=mechanism, bucket_shares=tuple(shares)
+            )
+            for mechanism, shares in aggregated.items()
+        }

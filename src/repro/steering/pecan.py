@@ -1,0 +1,78 @@
+"""A PECAN-style comparator (related work, §6).
+
+PECAN [100] exposed path diversity by issuing multiple advertisements to a
+*single* ISP and steering clients with DNS.  The paper argues this "does not
+scale to networks like Azure with thousands of peerings": confining all
+prefixes to one ISP caps the reachable diversity at that ISP's footprint,
+and DNS steering forfeits per-flow control (Fig. 9b).  This module builds
+the PECAN configuration so the claim can be measured.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.advertisement import AdvertisementConfig
+from repro.core.benefit import realized_benefit
+from repro.scenario import Scenario
+
+
+def best_single_isp(scenario: Scenario) -> int:
+    """The transit AS whose peerings alone could yield the most benefit."""
+    deployment = scenario.deployment
+    model = scenario.latency_model
+    scores: Dict[int, float] = {}
+    for peering in deployment.transit_peerings():
+        scores.setdefault(peering.peer_asn, 0.0)
+    for ug in scenario.user_groups:
+        anycast = scenario.anycast_latency_ms(ug)
+        best_per_asn: Dict[int, float] = {}
+        for pid in scenario.catalog.ingress_ids(ug):
+            peering = deployment.peering(pid)
+            if peering.peer_asn not in scores:
+                continue
+            improvement = max(0.0, anycast - model.latency_ms(ug, peering))
+            if improvement > best_per_asn.get(peering.peer_asn, 0.0):
+                best_per_asn[peering.peer_asn] = improvement
+        for asn, improvement in best_per_asn.items():
+            scores[asn] += ug.volume * improvement
+    if not scores:
+        raise RuntimeError("deployment has no transit peerings")
+    return max(scores, key=lambda asn: (scores[asn], -asn))
+
+
+def pecan_config(scenario: Scenario, budget: int, isp_asn: Optional[int] = None) -> AdvertisementConfig:
+    """PECAN: one prefix per PoP-peering of a single ISP.
+
+    Each prefix is announced via one of the chosen ISP's peerings (its
+    presence at one PoP), exposing that ISP's internal path diversity and
+    nothing else.
+    """
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    isp = isp_asn if isp_asn is not None else best_single_isp(scenario)
+    peerings = scenario.deployment.peerings_with(isp)
+    if not peerings:
+        raise ValueError(f"AS{isp} has no peerings with the cloud")
+    config = AdvertisementConfig()
+    for prefix, peering in enumerate(peerings[:budget]):
+        config.add(prefix, peering.peering_id)
+    return config
+
+
+def compare_pecan_to_painter(
+    scenario: Scenario, budget: int, painter_config: AdvertisementConfig
+) -> Tuple[float, float, int]:
+    """(pecan benefit, painter benefit, pecan's ISP) at the same budget.
+
+    Both are evaluated with ground-truth routing and per-flow selection —
+    i.e., this isolates the *path exposure* gap; PECAN's additional DNS
+    penalty stacks on top (Fig. 9b).
+    """
+    isp = best_single_isp(scenario)
+    pecan = pecan_config(scenario, budget, isp_asn=isp)
+    return (
+        realized_benefit(scenario, pecan),
+        realized_benefit(scenario, painter_config),
+        isp,
+    )

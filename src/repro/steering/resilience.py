@@ -1,0 +1,228 @@
+"""Path exposure and resilience analysis (Fig. 11).
+
+Fig. 11a compares how many paths and PoPs PAINTER exposes per UG against
+SD-WAN multihoming.  PAINTER's path counts come in two flavors:
+
+* **best policy-compliant** (lower bound): one path per policy-compliant
+  peering at the UG's nearby PoPs — what the Advertisement Orchestrator can
+  expose with plain advertisements;
+* **all policy-compliant** (upper bound): additionally counting distinct
+  first-hop ISPs able to carry the UG's traffic to each peering, modeling a
+  hypothetical orchestrator that manipulates advertisement attributes
+  (prepending etc.) to expose them.
+
+Nearby PoPs follow the paper: the PoPs at which 90% of the UG's region's
+traffic ingresses — excluding clearly high-latency options.
+
+Fig. 11b measures, for each UG, the fraction of ASes on the *default*
+(anycast) path that an alternate path can avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.scenario import Scenario
+from repro.steering.sdwan import SdwanView, sdwan_view
+from repro.topology.graph import transit_path_exists
+from repro.usergroups.usergroup import UserGroup
+
+#: Fraction of regional traffic whose ingress PoPs count as "nearby".
+REGIONAL_COVERAGE = 0.90
+
+
+@dataclass(frozen=True)
+class PainterView:
+    """PAINTER's exposable paths/PoPs for one UG."""
+
+    ug_id: int
+    nearby_pops: FrozenSet[str]
+    best_paths: int
+    all_paths: int
+    pops: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class ExposureComparison:
+    """Fig. 11a row for one UG."""
+
+    ug_id: int
+    painter_best_paths: int
+    painter_all_paths: int
+    painter_pops: int
+    sdwan_paths: int
+    sdwan_pops: int
+
+    @property
+    def best_paths_difference(self) -> int:
+        return self.painter_best_paths - self.sdwan_paths
+
+    @property
+    def all_paths_difference(self) -> int:
+        return self.painter_all_paths - self.sdwan_paths
+
+    @property
+    def pops_difference(self) -> int:
+        return self.painter_pops - self.sdwan_pops
+
+
+@dataclass(frozen=True)
+class AvoidanceResult:
+    """Fig. 11b row for one UG."""
+
+    ug_id: int
+    default_path_ases: Tuple[int, ...]
+    painter_avoidable_fraction: float
+    sdwan_avoidable_fraction: float
+
+
+class ResilienceAnalysis:
+    """Computes Fig. 11's comparisons over a scenario."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        self._scenario = scenario
+        self._regional_pops_cache: Dict[str, FrozenSet[str]] = {}
+        self._reach_cache: Dict[Tuple[int, int], bool] = {}
+
+    # -- nearby PoPs -------------------------------------------------------
+
+    def regional_pops(self, region: str) -> FrozenSet[str]:
+        """PoPs receiving 90% of the region's anycast traffic."""
+        cached = self._regional_pops_cache.get(region)
+        if cached is not None:
+            return cached
+        volumes: Dict[str, float] = {}
+        total = 0.0
+        for ug in self._scenario.user_groups:
+            if ug.metro.region != region:
+                continue
+            ingress = self._scenario.routing.anycast_ingress(ug)
+            if ingress is None:
+                continue
+            volumes[ingress.pop.name] = volumes.get(ingress.pop.name, 0.0) + ug.volume
+            total += ug.volume
+        chosen: Set[str] = set()
+        covered = 0.0
+        for pop_name in sorted(volumes, key=lambda name: -volumes[name]):
+            if total > 0 and covered >= REGIONAL_COVERAGE * total:
+                break
+            chosen.add(pop_name)
+            covered += volumes[pop_name]
+        if not chosen:
+            # Region hosts no (other) UGs: fall back to the nearest PoP.
+            chosen = {self._scenario.deployment.pops[0].name}
+        result = frozenset(chosen)
+        self._regional_pops_cache[region] = result
+        return result
+
+    # -- PAINTER exposure ---------------------------------------------------
+
+    def _isp_reaches(self, isp_asn: int, peer_asn: int) -> bool:
+        key = (isp_asn, peer_asn)
+        cached = self._reach_cache.get(key)
+        if cached is None:
+            if isp_asn == peer_asn:
+                cached = True
+            else:
+                cached = transit_path_exists(self._scenario.graph, isp_asn, peer_asn)
+            self._reach_cache[key] = cached
+        return cached
+
+    def painter_view(self, ug: UserGroup) -> PainterView:
+        scenario = self._scenario
+        nearby = self.regional_pops(ug.metro.region)
+        compliant = scenario.catalog.ingresses(ug)
+        at_nearby = [p for p in compliant if p.pop.name in nearby]
+        providers = (
+            scenario.graph.providers(ug.asn) if ug.asn in scenario.graph else []
+        )
+        best = len(at_nearby)
+        all_paths = 0
+        for peering in at_nearby:
+            if peering.peer_asn == ug.asn:
+                all_paths += 1  # the direct path
+                continue
+            usable_isps = sum(
+                1 for isp in providers if self._isp_reaches(isp, peering.peer_asn)
+            )
+            all_paths += max(1, usable_isps)
+        return PainterView(
+            ug_id=ug.ug_id,
+            nearby_pops=nearby,
+            best_paths=best,
+            all_paths=all_paths,
+            pops=frozenset(p.pop.name for p in at_nearby),
+        )
+
+    def compare_exposure(self, ug: UserGroup) -> ExposureComparison:
+        painter = self.painter_view(ug)
+        sdwan = sdwan_view(self._scenario, ug)
+        return ExposureComparison(
+            ug_id=ug.ug_id,
+            painter_best_paths=painter.best_paths,
+            painter_all_paths=painter.all_paths,
+            painter_pops=len(painter.pops),
+            sdwan_paths=sdwan.path_count,
+            sdwan_pops=len(sdwan.pops),
+        )
+
+    def compare_all(self) -> List[ExposureComparison]:
+        return [self.compare_exposure(ug) for ug in self._scenario.user_groups]
+
+    # -- Fig. 11b: avoiding default-path ASes ----------------------------------
+
+    def _painter_alternate_paths(self, ug: UserGroup) -> List[Tuple[int, ...]]:
+        """AS-level paths via each policy-compliant peering, advertised alone."""
+        routing = self._scenario.routing
+        paths: List[Tuple[int, ...]] = []
+        for pid in sorted(self._scenario.catalog.ingress_ids(ug)):
+            as_path = routing.as_path(ug, frozenset({pid}))
+            if as_path is None:
+                continue
+            paths.append(tuple(a for a in as_path[:-1]))  # drop the cloud
+        return paths
+
+    def avoidance(self, ug: UserGroup) -> AvoidanceResult:
+        routing = self._scenario.routing
+        default = routing.default_as_path(ug)
+        # Intermediate ASes: drop the cloud (last) and the UG's own access
+        # ISP (first hop) — no ingress mechanism can route around the
+        # enterprise's only ISP ("PAINTER cannot avoid ... problems due to an
+        # enterprise's single ISP", §3.3), so the comparison is over the ASes
+        # beyond it.
+        default_intermediates: Tuple[int, ...] = (
+            tuple(a for a in default[1:-1]) if default is not None else ()
+        )
+
+        def avoidable_fraction(alternates: Sequence[Tuple[int, ...]]) -> float:
+            if not default_intermediates:
+                return 1.0
+            avoidable = 0
+            for asn in default_intermediates:
+                if any(asn not in path for path in alternates):
+                    avoidable += 1
+            return avoidable / len(default_intermediates)
+
+        painter_paths = self._painter_alternate_paths(ug)
+        sdwan = sdwan_view(self._scenario, ug)
+        return AvoidanceResult(
+            ug_id=ug.ug_id,
+            default_path_ases=default_intermediates,
+            painter_avoidable_fraction=avoidable_fraction(painter_paths),
+            sdwan_avoidable_fraction=avoidable_fraction(sdwan.paths),
+        )
+
+    def avoidance_all(self) -> List[AvoidanceResult]:
+        return [self.avoidance(ug) for ug in self._scenario.user_groups]
+
+
+def fraction_fully_avoidable(results: Sequence[AvoidanceResult], painter: bool) -> float:
+    """Fraction of UGs able to avoid *all* default-path ASes (Fig. 11b text)."""
+    if not results:
+        raise ValueError("no results")
+    if painter:
+        count = sum(1 for r in results if r.painter_avoidable_fraction >= 1.0)
+    else:
+        count = sum(1 for r in results if r.sdwan_avoidable_fraction >= 1.0)
+    return count / len(results)

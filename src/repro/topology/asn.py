@@ -1,0 +1,77 @@
+"""Autonomous system model: AS identities, roles, and business relationships.
+
+The Advertisement Orchestrator's notion of a *policy-compliant ingress*
+(§3.1) is grounded in AS business relationships: an AS carries traffic from
+its customer cone to any destination, so a user group whose AS sits in the
+customer cone of a cloud peer can reach the cloud through that peer.  This
+module defines the vocabulary those computations are written in.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.topology.geo import Metro
+
+
+class ASRole(enum.Enum):
+    """Coarse role of an AS in the Internet hierarchy."""
+
+    STUB = "stub"  # enterprise / eyeball network, no customers
+    REGIONAL = "regional"  # regional ISP with stub customers
+    TRANSIT = "transit"  # large transit provider
+    TIER1 = "tier1"  # settlement-free top of the hierarchy
+    CLOUD = "cloud"  # the cloud deployment itself
+
+
+class Relationship(enum.Enum):
+    """Business relationship of a neighbor, from the perspective of an AS."""
+
+    CUSTOMER = "customer"  # neighbor pays us
+    PROVIDER = "provider"  # we pay neighbor
+    PEER = "peer"  # settlement-free
+
+    def inverse(self) -> "Relationship":
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+#: Gao-Rexford local preference by the relationship of the neighbor the route
+#: was learned from: prefer customer routes, then peer, then provider.
+LOCAL_PREFERENCE = {
+    Relationship.CUSTOMER: 300,
+    Relationship.PEER: 200,
+    Relationship.PROVIDER: 100,
+}
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """A single AS.
+
+    ``home_metro`` anchors the AS geographically; stub (enterprise/eyeball)
+    ASes are single-metro while transit ASes span many metros, which the
+    scenario builder models by giving them presence at several PoP metros.
+    """
+
+    asn: int
+    role: ASRole
+    name: str = ""
+    home_metro: Optional[Metro] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive, got {self.asn}")
+
+    @property
+    def is_transit(self) -> bool:
+        return self.role in (ASRole.TRANSIT, ASRole.TIER1)
+
+    def __str__(self) -> str:
+        label = self.name or f"AS{self.asn}"
+        return f"{label}({self.role.value})"

@@ -1,0 +1,263 @@
+"""Synthetic Internet topology generator.
+
+Builds an AS graph plus a cloud deployment that structurally resembles the
+ones PAINTER was evaluated on: a handful of tier-1s, a layer of transit
+providers present at many PoPs, regional ISPs attached near their home metro,
+and a long tail of stub (enterprise/eyeball) ASes — matching the paper's
+observation that "some networks connect at multiple PoPs, most only at one".
+
+All randomness flows through one seeded ``random.Random`` so scenarios are
+fully reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.topology.asn import ASRole, AutonomousSystem, Relationship
+from repro.topology.cloud import CloudDeployment, PoP
+from repro.topology.geo import WORLD_METROS, Metro, haversine_km
+from repro.topology.graph import ASGraph
+
+CLOUD_ASN = 1
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Knobs for the synthetic topology.
+
+    Defaults produce a PEERING/Vultr-prototype-scale world (tens of PoPs,
+    hundreds of neighbor ASes); the Azure-scale experiments pass larger
+    values.
+    """
+
+    seed: int = 0
+    n_pops: int = 25
+    n_tier1: int = 5
+    n_transit: int = 12
+    n_regional: int = 60
+    n_stub: int = 300
+    #: Fraction of tier1/transit ASes the cloud buys transit from.
+    transit_provider_fraction: float = 0.5
+    #: Probability a regional ISP peers directly with the cloud at its
+    #: nearest PoP.
+    regional_peering_prob: float = 0.6
+    #: Probability a stub AS has a direct peering with the cloud.
+    stub_peering_prob: float = 0.03
+    #: Mean number of providers per stub AS (multihoming degree).
+    stub_multihoming_mean: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.n_pops < 2:
+            raise ValueError("need at least 2 PoPs")
+        if self.n_pops > len(WORLD_METROS):
+            raise ValueError(f"at most {len(WORLD_METROS)} PoPs supported")
+        if self.n_tier1 < 1 or self.n_transit < 1:
+            raise ValueError("need at least one tier1 and one transit AS")
+        if not 0.0 <= self.transit_provider_fraction <= 1.0:
+            raise ValueError("transit_provider_fraction must be in [0,1]")
+
+
+@dataclass
+class Topology:
+    """The generated world: AS graph + cloud deployment + AS inventories."""
+
+    config: TopologyConfig
+    graph: ASGraph
+    deployment: CloudDeployment
+    tier1_asns: List[int]
+    transit_asns: List[int]
+    regional_asns: List[int]
+    stub_asns: List[int]
+
+    @property
+    def cloud_asn(self) -> int:
+        return CLOUD_ASN
+
+    def edge_asns(self) -> List[int]:
+        """ASes that host user groups (stubs plus regionals)."""
+        return self.stub_asns + self.regional_asns
+
+
+def _spread_metros(rng: random.Random, count: int) -> List[Metro]:
+    """Pick ``count`` metros maximizing geographic spread (greedy k-center)."""
+    metros = list(WORLD_METROS)
+    chosen = [rng.choice(metros)]
+    remaining = [m for m in metros if m is not chosen[0]]
+    while len(chosen) < count and remaining:
+        best = max(
+            remaining,
+            key=lambda m: min(haversine_km(m.location, c.location) for c in chosen),
+        )
+        chosen.append(best)
+        remaining.remove(best)
+    return chosen
+
+
+def build_topology(config: Optional[TopologyConfig] = None) -> Topology:
+    """Generate a reproducible synthetic topology from ``config``."""
+    config = config or TopologyConfig()
+    rng = random.Random(config.seed)
+
+    graph = ASGraph()
+    deployment = CloudDeployment(name="synthetic-cloud")
+
+    cloud = AutonomousSystem(asn=CLOUD_ASN, role=ASRole.CLOUD, name="cloud")
+    graph.add_as(cloud)
+
+    next_asn = 100
+
+    def make_as(role: ASRole, prefix: str, metro: Optional[Metro]) -> AutonomousSystem:
+        nonlocal next_asn
+        asys = AutonomousSystem(
+            asn=next_asn, role=role, name=f"{prefix}{next_asn}", home_metro=metro
+        )
+        next_asn += 1
+        graph.add_as(asys)
+        return asys
+
+    # -- PoPs ---------------------------------------------------------------
+    pop_metros = _spread_metros(rng, config.n_pops)
+    pops = [deployment.add_pop(f"pop-{metro.name}", metro) for metro in pop_metros]
+
+    # -- Tier-1 mesh ----------------------------------------------------------
+    tier1 = [
+        make_as(ASRole.TIER1, "t1-", rng.choice(pop_metros)) for _ in range(config.n_tier1)
+    ]
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1 :]:
+            graph.add_peering_link(a.asn, b.asn)
+
+    # -- Transit providers ----------------------------------------------------
+    transits = [
+        make_as(ASRole.TRANSIT, "tr-", rng.choice(pop_metros)) for _ in range(config.n_transit)
+    ]
+    for tr in transits:
+        for provider in rng.sample(tier1, k=min(len(tier1), rng.randint(1, 2))):
+            graph.add_provider_customer(provider.asn, tr.asn)
+        # Transit providers peer laterally with some probability.
+        for other in transits:
+            if other.asn < tr.asn and rng.random() < 0.25:
+                if graph.relationship(tr.asn, other.asn) is None:
+                    graph.add_peering_link(tr.asn, other.asn)
+
+    # -- Regional ISPs ----------------------------------------------------------
+    regionals = [
+        make_as(ASRole.REGIONAL, "rg-", rng.choice(list(WORLD_METROS)))
+        for _ in range(config.n_regional)
+    ]
+    for reg in regionals:
+        # Regional ISPs buy transit from providers with nearby presence, so
+        # regionals in the same area share upstreams — which is why SD-WAN
+        # alternates through different local ISPs often converge onto the
+        # same transit AS (§5.2.4).
+        assert reg.home_metro is not None
+        upstream_pool = sorted(
+            transits + tier1,
+            key=lambda a: haversine_km(a.home_metro.location, reg.home_metro.location),
+        )[:4]
+        k = 1 if rng.random() < 0.6 else 2
+        for provider in rng.sample(upstream_pool, k=min(k, len(upstream_pool))):
+            if graph.relationship(provider.asn, reg.asn) is None:
+                graph.add_provider_customer(provider.asn, reg.asn)
+        # Settlement-free lateral peering (IXP-style): regionals peer with
+        # transits and each other, multiplying the AS-level paths selective
+        # advertisements can expose (§5.2.4).
+        for transit in transits:
+            if rng.random() < 0.15 and graph.relationship(transit.asn, reg.asn) is None:
+                graph.add_peering_link(transit.asn, reg.asn)
+        for other in regionals:
+            if other.asn >= reg.asn:
+                continue
+            assert other.home_metro is not None
+            close = haversine_km(other.home_metro.location, reg.home_metro.location) < 2000
+            if close and rng.random() < 0.25 and graph.relationship(other.asn, reg.asn) is None:
+                graph.add_peering_link(other.asn, reg.asn)
+
+    # -- Stub / enterprise ASes ---------------------------------------------
+    stubs = [
+        make_as(ASRole.STUB, "st-", rng.choice(list(WORLD_METROS)))
+        for _ in range(config.n_stub)
+    ]
+    for stub in stubs:
+        # Prefer nearby regional ISPs as providers; fall back to transit.
+        assert stub.home_metro is not None
+        # Enterprises buy access from *local* ISPs; where no regional ISP is
+        # within reach they go straight to a transit provider.  (Without the
+        # distance cap, stubs in sparse regions would buy from ISPs half a
+        # world away and anycast would land them at absurd PoPs.)
+        nearby = sorted(
+            (
+                r
+                for r in regionals
+                if haversine_km(r.home_metro.location, stub.home_metro.location) <= 3000.0
+            ),
+            key=lambda r: haversine_km(r.home_metro.location, stub.home_metro.location),
+        )[:8]
+        n_providers = max(1, min(4, int(rng.expovariate(1.0 / config.stub_multihoming_mean)) + 1))
+        providers: List[AutonomousSystem] = []
+        pool = nearby + transits
+        while len(providers) < n_providers and pool:
+            choice = rng.choice(pool[:10]) if rng.random() < 0.8 else rng.choice(pool)
+            if choice not in providers:
+                providers.append(choice)
+            pool = [p for p in pool if p not in providers]
+        for provider in providers:
+            if graph.relationship(provider.asn, stub.asn) is None:
+                graph.add_provider_customer(provider.asn, stub.asn)
+
+    # -- Cloud peerings --------------------------------------------------------
+    # Big transit/tier1 networks: present at many PoPs.  A configurable
+    # fraction are paid transit providers of the cloud (PROVIDER), the rest
+    # settlement-free peers; both are ingresses.
+    big = tier1 + transits
+    n_providers_of_cloud = max(1, round(len(big) * config.transit_provider_fraction))
+    provider_set = set(rng.sample([a.asn for a in big], k=n_providers_of_cloud))
+    for asys in big:
+        rel = Relationship.PROVIDER if asys.asn in provider_set else Relationship.PEER
+        presence = rng.randint(max(2, config.n_pops // 2), config.n_pops)
+        for pop in rng.sample(pops, k=presence):
+            deployment.add_peering(pop, asys.asn, rel)
+        if rel is Relationship.PROVIDER:
+            graph.add_provider_customer(asys.asn, CLOUD_ASN)
+        elif graph.relationship(CLOUD_ASN, asys.asn) is None:
+            graph.add_peering_link(CLOUD_ASN, asys.asn)
+
+    # Regional ISPs: mostly single-PoP peers near home.
+    for reg in regionals:
+        if rng.random() >= config.regional_peering_prob:
+            continue
+        assert reg.home_metro is not None
+        nearest = deployment.nearest_pop(reg.home_metro.location)
+        try:
+            deployment.add_peering(nearest, reg.asn, Relationship.PEER)
+        except ValueError:
+            continue  # already peers there via another role
+        if graph.relationship(CLOUD_ASN, reg.asn) is None:
+            graph.add_peering_link(CLOUD_ASN, reg.asn)
+
+    # A few stubs peer directly (large enterprises).
+    for stub in stubs:
+        if rng.random() >= config.stub_peering_prob:
+            continue
+        assert stub.home_metro is not None
+        nearest = deployment.nearest_pop(stub.home_metro.location)
+        try:
+            deployment.add_peering(nearest, stub.asn, Relationship.PEER)
+        except ValueError:
+            continue
+        if graph.relationship(CLOUD_ASN, stub.asn) is None:
+            graph.add_peering_link(CLOUD_ASN, stub.asn)
+
+    graph.validate()
+    return Topology(
+        config=config,
+        graph=graph,
+        deployment=deployment,
+        tier1_asns=[a.asn for a in tier1],
+        transit_asns=[a.asn for a in transits],
+        regional_asns=[a.asn for a in regionals],
+        stub_asns=[a.asn for a in stubs],
+    )

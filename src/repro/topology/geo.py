@@ -1,0 +1,202 @@
+"""Geographic primitives: coordinates, great-circle distance, fiber latency.
+
+PAINTER reasons about geography constantly: the reuse distance ``D_reuse`` is
+a great-circle distance between PoPs, latency estimates are validated with
+speed-of-light constraints (Appendix B), and path inflation is measured as
+extra distance relative to the closest PoP.  This module provides those
+primitives plus a small database of world metropolitan areas used by the
+synthetic scenario builder.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+EARTH_RADIUS_KM = 6371.0
+
+#: Speed of light in vacuum, km per millisecond.
+SPEED_OF_LIGHT_KM_PER_MS = 299.792458
+
+#: Refractive index of optical fiber; light in fiber travels ~2/3 c.
+FIBER_REFRACTIVE_INDEX = 1.52
+
+#: Effective propagation speed in fiber, km per millisecond.
+FIBER_KM_PER_MS = SPEED_OF_LIGHT_KM_PER_MS / FIBER_REFRACTIVE_INDEX
+
+#: Multiplier capturing that fiber paths are not geodesics (route deviation).
+#: Empirical studies place real paths at 1.5-2.5x geodesic distance; we use a
+#: conservative default and let callers add AS-level inflation on top.
+FIBER_PATH_STRETCH = 1.6
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point on the Earth's surface in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        return haversine_km(self, other)
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points in kilometers."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def speed_of_light_rtt_ms(distance_km: float) -> float:
+    """Lower bound on RTT (ms) for a given one-way geodesic distance.
+
+    This is the constraint used to validate geolocated targets in Appendix B:
+    a measured RTT below this bound proves the target is not at the assumed
+    location (e.g. it is anycast).
+    """
+    if distance_km < 0:
+        raise ValueError("distance must be non-negative")
+    return 2.0 * distance_km / SPEED_OF_LIGHT_KM_PER_MS
+
+
+def fiber_rtt_ms(distance_km: float, stretch: float = FIBER_PATH_STRETCH) -> float:
+    """Expected RTT (ms) over fiber for a one-way geodesic distance."""
+    if distance_km < 0:
+        raise ValueError("distance must be non-negative")
+    return 2.0 * distance_km * stretch / FIBER_KM_PER_MS
+
+
+def rtt_to_max_distance_km(rtt_ms: float) -> float:
+    """Maximum one-way geodesic distance consistent with a measured RTT.
+
+    Used for speed-of-light geolocation validation: the target cannot be
+    farther from the probe than light could travel in rtt/2.
+    """
+    if rtt_ms < 0:
+        raise ValueError("rtt must be non-negative")
+    return rtt_ms / 2.0 * SPEED_OF_LIGHT_KM_PER_MS
+
+
+@dataclass(frozen=True)
+class Metro:
+    """A metropolitan area — the geographic half of a user group."""
+
+    name: str
+    location: GeoPoint
+    region: str
+
+    def distance_km(self, other: "Metro") -> float:
+        return self.location.distance_km(other.location)
+
+
+def _m(name: str, lat: float, lon: float, region: str) -> Metro:
+    return Metro(name=name, location=GeoPoint(lat, lon), region=region)
+
+
+#: World metros used by the synthetic scenario builder.  Coordinates are the
+#: conventional city centers; regions follow cloud-provider naming.
+WORLD_METROS: Tuple[Metro, ...] = (
+    _m("new-york", 40.71, -74.01, "us-east"),
+    _m("ashburn", 39.04, -77.49, "us-east"),
+    _m("miami", 25.76, -80.19, "us-east"),
+    _m("atlanta", 33.75, -84.39, "us-east"),
+    _m("boston", 42.36, -71.06, "us-east"),
+    _m("toronto", 43.65, -79.38, "us-east"),
+    _m("montreal", 45.50, -73.57, "us-east"),
+    _m("chicago", 41.88, -87.63, "us-central"),
+    _m("dallas", 32.78, -96.80, "us-central"),
+    _m("kansas-city", 39.10, -94.58, "us-central"),
+    _m("denver", 39.74, -104.99, "us-central"),
+    _m("houston", 29.76, -95.37, "us-central"),
+    _m("seattle", 47.61, -122.33, "us-west"),
+    _m("san-jose", 37.34, -121.89, "us-west"),
+    _m("los-angeles", 34.05, -118.24, "us-west"),
+    _m("phoenix", 33.45, -112.07, "us-west"),
+    _m("vancouver", 49.28, -123.12, "us-west"),
+    _m("london", 51.51, -0.13, "eu-west"),
+    _m("dublin", 53.35, -6.26, "eu-west"),
+    _m("paris", 48.86, 2.35, "eu-west"),
+    _m("amsterdam", 52.37, 4.90, "eu-west"),
+    _m("madrid", 40.42, -3.70, "eu-west"),
+    _m("lisbon", 38.72, -9.14, "eu-west"),
+    _m("frankfurt", 50.11, 8.68, "eu-central"),
+    _m("zurich", 47.37, 8.54, "eu-central"),
+    _m("milan", 45.46, 9.19, "eu-central"),
+    _m("vienna", 48.21, 16.37, "eu-central"),
+    _m("warsaw", 52.23, 21.01, "eu-central"),
+    _m("stockholm", 59.33, 18.07, "eu-north"),
+    _m("oslo", 59.91, 10.75, "eu-north"),
+    _m("helsinki", 60.17, 24.94, "eu-north"),
+    _m("copenhagen", 55.68, 12.57, "eu-north"),
+    _m("tokyo", 35.68, 139.69, "asia-east"),
+    _m("osaka", 34.69, 135.50, "asia-east"),
+    _m("seoul", 37.57, 126.98, "asia-east"),
+    _m("hong-kong", 22.32, 114.17, "asia-east"),
+    _m("taipei", 25.03, 121.57, "asia-east"),
+    _m("singapore", 1.35, 103.82, "asia-south"),
+    _m("mumbai", 19.08, 72.88, "asia-south"),
+    _m("delhi", 28.61, 77.21, "asia-south"),
+    _m("chennai", 13.08, 80.27, "asia-south"),
+    _m("bangkok", 13.76, 100.50, "asia-south"),
+    _m("jakarta", -6.21, 106.85, "asia-south"),
+    _m("kuala-lumpur", 3.14, 101.69, "asia-south"),
+    _m("sydney", -33.87, 151.21, "oceania"),
+    _m("melbourne", -37.81, 144.96, "oceania"),
+    _m("auckland", -36.85, 174.76, "oceania"),
+    _m("sao-paulo", -23.55, -46.63, "sa-east"),
+    _m("rio-de-janeiro", -22.91, -43.17, "sa-east"),
+    _m("buenos-aires", -34.60, -58.38, "sa-east"),
+    _m("santiago", -33.45, -70.67, "sa-east"),
+    _m("bogota", 4.71, -74.07, "sa-east"),
+    _m("lima", -12.05, -77.04, "sa-east"),
+    _m("johannesburg", -26.20, 28.05, "africa"),
+    _m("cape-town", -33.92, 18.42, "africa"),
+    _m("nairobi", -1.29, 36.82, "africa"),
+    _m("lagos", 6.52, 3.38, "africa"),
+    _m("cairo", 30.04, 31.24, "africa"),
+    _m("dubai", 25.20, 55.27, "middle-east"),
+    _m("tel-aviv", 32.07, 34.78, "middle-east"),
+    _m("istanbul", 41.01, 28.98, "middle-east"),
+    _m("doha", 25.29, 51.53, "middle-east"),
+)
+
+_METRO_INDEX = {metro.name: metro for metro in WORLD_METROS}
+
+
+def metro_by_name(name: str) -> Metro:
+    """Look up a metro from :data:`WORLD_METROS` by its name."""
+    try:
+        return _METRO_INDEX[name]
+    except KeyError:
+        raise KeyError(f"unknown metro: {name!r}") from None
+
+
+def metros_in_region(region: str) -> List[Metro]:
+    return [metro for metro in WORLD_METROS if metro.region == region]
+
+
+def nearest_metro(point: GeoPoint, metros: Optional[Sequence[Metro]] = None) -> Metro:
+    """The metro closest (great-circle) to ``point``."""
+    candidates = WORLD_METROS if metros is None else metros
+    if not candidates:
+        raise ValueError("no metros to choose from")
+    return min(candidates, key=lambda metro: haversine_km(metro.location, point))
+
+
+def closest_distance_km(point: GeoPoint, points: Iterable[GeoPoint]) -> float:
+    """Distance from ``point`` to the closest of ``points``."""
+    distances = [haversine_km(point, other) for other in points]
+    if not distances:
+        raise ValueError("no points to choose from")
+    return min(distances)

@@ -1,0 +1,80 @@
+"""The Traffic Manager: TM-Edge, TM-PoP, tunnels, flows, failover."""
+
+from repro.traffic_manager.failover import (
+    FailoverConfig,
+    FailoverResult,
+    PathSpec,
+    default_fig10_paths,
+    run_failover,
+)
+from repro.traffic_manager.flows import FiveTuple, FlowEntry, FlowTable
+from repro.traffic_manager.load_balancing import (
+    DestinationLoad,
+    LoadAwareSelector,
+    effective_latency_ms,
+    greedy_spread,
+)
+from repro.traffic_manager.multipath import (
+    MultipathConnection,
+    Subflow,
+    failover_comparison,
+)
+from repro.traffic_manager.selection import LowestLatencySelector, SelectionPolicyConfig
+from repro.traffic_manager.session import (
+    EdgeSession,
+    SessionFlow,
+    SessionMetrics,
+    constant_oracle,
+    failing_oracle,
+)
+from repro.traffic_manager.tm_edge import TMEdge, TunnelState
+from repro.traffic_manager.tm_pop import PrefixDirectory, TMPoP
+from repro.traffic_manager.tunnel import (
+    ENCAP_OVERHEAD_BYTES,
+    NatBinding,
+    NatExhaustedError,
+    PORTS_PER_ADDRESS,
+    Packet,
+    TMPoPNat,
+    decapsulate,
+    encapsulate,
+    overhead_fraction,
+)
+
+__all__ = [
+    "DestinationLoad",
+    "ENCAP_OVERHEAD_BYTES",
+    "LoadAwareSelector",
+    "MultipathConnection",
+    "Subflow",
+    "effective_latency_ms",
+    "failover_comparison",
+    "greedy_spread",
+    "EdgeSession",
+    "FailoverConfig",
+    "FailoverResult",
+    "FiveTuple",
+    "FlowEntry",
+    "FlowTable",
+    "LowestLatencySelector",
+    "NatBinding",
+    "NatExhaustedError",
+    "PORTS_PER_ADDRESS",
+    "Packet",
+    "PathSpec",
+    "PrefixDirectory",
+    "SelectionPolicyConfig",
+    "SessionFlow",
+    "SessionMetrics",
+    "constant_oracle",
+    "failing_oracle",
+    "TMEdge",
+    "TMPoP",
+    "TMPoPNat",
+    "TunnelState",
+    "decapsulate",
+    "default_fig10_paths",
+    "encapsulate",
+    "overhead_fraction",
+    "run_failover",
+]

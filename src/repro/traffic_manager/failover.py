@@ -1,0 +1,280 @@
+"""RTT-timescale failover (the Fig. 10 experiment).
+
+Reproduces the prototype scenario of §5.2.3: an anycast prefix advertised at
+two PoPs plus single-transit unicast prefixes at each, a PoP failure at
+t = 60 s, and three reactions compared —
+
+* **PAINTER** — the TM-Edge notices missing acknowledgments on its chosen
+  tunnel within ~1.3 RTT and switches to the next-lowest-latency prefix;
+* **anycast** — the prefix is unreachable while the withdrawal floods
+  (~1 s), then suffers transient path-exploration inflation for ~15 s
+  (modeled by :mod:`repro.bgp.convergence`);
+* **DNS** — clients keep using the stale record until the TTL expires
+  (~60 s).
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bgp.convergence import ConvergenceConfig, ConvergenceTrace, simulate_withdrawal
+from repro.simulation.events import EventLoop
+from repro.traffic_manager.selection import LowestLatencySelector, SelectionPolicyConfig
+
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class PathSpec:
+    """One destination prefix the TM-Edge can tunnel to."""
+
+    prefix: str
+    pop_name: str
+    base_rtt_ms: float
+    is_anycast: bool = False
+    #: For the anycast path: RTT via the surviving PoP after reconvergence.
+    backup_rtt_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.base_rtt_ms <= 0:
+            raise ValueError("base_rtt_ms must be positive")
+        if self.is_anycast and self.backup_rtt_ms is None:
+            raise ValueError("anycast path needs a backup_rtt_ms")
+
+
+@dataclass(frozen=True)
+class FailoverConfig:
+    duration_s: float = 130.0
+    failure_time_s: float = 60.0
+    failed_pop: str = "pop-a"
+    #: Interval between data/keepalive packets on the active tunnel.
+    packet_interval_ms: float = 5.0
+    #: Interval between background probes of alternate tunnels.
+    probe_interval_ms: float = 1000.0
+    #: Missing-ack time (in RTTs) before the tunnel is declared down.
+    detection_rtt_multiplier: float = 1.3
+    #: TTL-bound failover time of the DNS alternative.
+    dns_ttl_s: float = 60.0
+    convergence: ConvergenceConfig = ConvergenceConfig()
+    seed: int = 0
+
+
+@dataclass
+class FailoverResult:
+    """Everything needed to regenerate Fig. 10."""
+
+    config: FailoverConfig
+    paths: Sequence[PathSpec]
+    #: (time_s, active_prefix or None, observed rtt_ms or inf).
+    timeline: List[Tuple[float, Optional[str], float]]
+    convergence: ConvergenceTrace
+    detection_time_s: Optional[float]
+    recovery_time_s: Optional[float]
+
+    @property
+    def painter_downtime_ms(self) -> float:
+        """Data-plane gap between failure and the first delivered packet."""
+        if self.recovery_time_s is None:
+            return math.inf
+        return (self.recovery_time_s - self.config.failure_time_s) * 1000.0
+
+    @property
+    def anycast_loss_s(self) -> float:
+        return self.convergence.loss_duration_s
+
+    @property
+    def anycast_reconvergence_s(self) -> float:
+        return self.convergence.reconvergence_time_s - self.config.failure_time_s
+
+    @property
+    def dns_downtime_s(self) -> float:
+        return self.config.dns_ttl_s
+
+    def active_prefix_at(self, time_s: float) -> Optional[str]:
+        active = None
+        for t, prefix, _rtt in self.timeline:
+            if t <= time_s:
+                active = prefix
+            else:
+                break
+        return active
+
+    def bgp_update_series(self, bin_s: float = 1.0) -> List[Tuple[float, int]]:
+        from repro.bgp.convergence import churn_series
+
+        return churn_series(self.convergence, 0.0, self.config.duration_s, bin_s=bin_s)
+
+    def path_latency_series(
+        self, step_s: float = 0.5
+    ) -> Dict[str, List[Tuple[float, float]]]:
+        """Per-prefix latency series (inf while unreachable), for plotting."""
+        oracle = _PathOracle(self.paths, self.config, self.convergence)
+        series: Dict[str, List[Tuple[float, float]]] = {p.prefix: [] for p in self.paths}
+        t = 0.0
+        while t <= self.config.duration_s:
+            for path in self.paths:
+                series[path.prefix].append((t, oracle.rtt_ms(path, t)))
+            t += step_s
+        return series
+
+
+class _PathOracle:
+    """Ground-truth RTT of each path over time."""
+
+    def __init__(
+        self, paths: Sequence[PathSpec], config: FailoverConfig, trace: ConvergenceTrace
+    ) -> None:
+        self._config = config
+        self._trace = trace
+
+    def rtt_ms(self, path: PathSpec, time_s: float) -> float:
+        cfg = self._config
+        if time_s < cfg.failure_time_s:
+            return path.base_rtt_ms
+        if path.is_anycast:
+            penalty = self._trace.latency_penalty_at(time_s)
+            if math.isinf(penalty):
+                return math.inf
+            assert path.backup_rtt_ms is not None
+            return path.backup_rtt_ms + penalty
+        if path.pop_name == cfg.failed_pop:
+            return math.inf
+        return path.base_rtt_ms
+
+
+def run_failover(
+    paths: Sequence[PathSpec], config: Optional[FailoverConfig] = None
+) -> FailoverResult:
+    """Run the event-driven failover simulation."""
+    config = config or FailoverConfig()
+    if not paths:
+        raise ValueError("need at least one path")
+    if not any(p.pop_name == config.failed_pop for p in paths):
+        raise ValueError(f"no path touches the failed PoP {config.failed_pop!r}")
+
+    trace = simulate_withdrawal(
+        config.failure_time_s, config=config.convergence, seed=config.seed
+    )
+    oracle = _PathOracle(paths, config, trace)
+    loop = EventLoop()
+
+    # Measured RTT per prefix, as the TM-Edge currently believes.
+    measured: Dict[str, float] = {p.prefix: p.base_rtt_ms for p in paths}
+    selector = LowestLatencySelector(SelectionPolicyConfig())
+    selector.update(dict(measured))
+    timeline_seed = selector.current
+    state = {
+        "last_ack_s": 0.0,
+        "last_send_s": 0.0,
+        "detection_time_s": None,
+        "recovery_time_s": None,
+        "down_since_s": None,
+    }
+    timeline: List[Tuple[float, Optional[str], float]] = []
+    by_prefix = {p.prefix: p for p in paths}
+    if timeline_seed is not None:
+        timeline.append((0.0, timeline_seed, measured[timeline_seed]))
+
+    def active_path() -> Optional[PathSpec]:
+        prefix = selector.current
+        return None if prefix is None else by_prefix[prefix]
+
+    def send_packet(loop: EventLoop) -> None:
+        path = active_path()
+        now = loop.now_s
+        if path is not None:
+            state["last_send_s"] = now
+            rtt = oracle.rtt_ms(path, now)
+            if math.isinf(rtt):
+                # Packet lost; schedule the detection check.
+                expected = measured.get(path.prefix, path.base_rtt_ms)
+                if math.isinf(expected):
+                    expected = path.base_rtt_ms
+                deadline = now + config.detection_rtt_multiplier * expected / 1000.0
+                loop.schedule_at(deadline, make_detection_check(path.prefix, now))
+            else:
+                delivered = now + rtt / 1000.0
+
+                def on_ack(loop: EventLoop, prefix: str = path.prefix, rtt: float = rtt) -> None:
+                    state["last_ack_s"] = loop.now_s
+                    measured[prefix] = rtt
+                    if (
+                        state["down_since_s"] is not None
+                        and state["recovery_time_s"] is None
+                    ):
+                        state["recovery_time_s"] = loop.now_s - rtt / 1000.0
+                    timeline.append((loop.now_s, selector.current, rtt))
+
+                loop.schedule_at(delivered, on_ack)
+        if now + config.packet_interval_ms / 1000.0 <= config.duration_s:
+            loop.schedule_in(config.packet_interval_ms / 1000.0, send_packet)
+
+    def make_detection_check(prefix: str, sent_at_s: float) -> Callable[[EventLoop], None]:
+        def check(loop: EventLoop) -> None:
+            if selector.current != prefix:
+                return  # already moved on
+            if state["last_ack_s"] >= sent_at_s:
+                return  # an ack arrived in the meantime
+            # Declare the tunnel down and switch to the best alternate.
+            if state["detection_time_s"] is None:
+                state["detection_time_s"] = loop.now_s
+                state["down_since_s"] = loop.now_s
+                logger.info(
+                    "tunnel %s declared down at t=%.3fs", prefix, loop.now_s
+                )
+            measured[prefix] = math.inf
+            selector.update(dict(measured))
+            timeline.append((loop.now_s, selector.current, math.inf))
+
+        return check
+
+    def probe_paths(loop: EventLoop) -> None:
+        now = loop.now_s
+        for path in paths:
+            if path.prefix == selector.current:
+                continue  # active path is measured by data packets
+            rtt = oracle.rtt_ms(path, now)
+
+            def on_probe(loop: EventLoop, prefix: str = path.prefix, rtt: float = rtt) -> None:
+                measured[prefix] = rtt
+
+            if math.isinf(rtt):
+                measured[path.prefix] = math.inf
+            else:
+                loop.schedule_at(now + rtt / 1000.0, on_probe)
+        if now + config.probe_interval_ms / 1000.0 <= config.duration_s:
+            loop.schedule_in(config.probe_interval_ms / 1000.0, probe_paths)
+
+    loop.schedule_at(0.0, send_packet)
+    loop.schedule_at(0.0, probe_paths)
+    loop.run_until(config.duration_s)
+
+    return FailoverResult(
+        config=config,
+        paths=list(paths),
+        timeline=timeline,
+        convergence=trace,
+        detection_time_s=state["detection_time_s"],
+        recovery_time_s=state["recovery_time_s"],
+    )
+
+
+def default_fig10_paths() -> List[PathSpec]:
+    """The paper's setup: anycast at two PoPs + one prefix per transit ISP."""
+    return [
+        PathSpec(
+            prefix="1.1.1.0/24",
+            pop_name="pop-a",
+            base_rtt_ms=25.0,
+            is_anycast=True,
+            backup_rtt_ms=34.0,
+        ),
+        PathSpec(prefix="2.2.2.0/24", pop_name="pop-a", base_rtt_ms=20.0),
+        PathSpec(prefix="4.4.4.0/24", pop_name="pop-a", base_rtt_ms=28.0),
+        PathSpec(prefix="3.3.3.0/24", pop_name="pop-b", base_rtt_ms=30.0),
+        PathSpec(prefix="5.5.5.0/24", pop_name="pop-b", base_rtt_ms=38.0),
+    ]

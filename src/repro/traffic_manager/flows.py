@@ -1,0 +1,95 @@
+"""Flows and the TM-Edge flow table.
+
+"Once the Traffic Manager maps a flow (5-tuple) to a TM-PoP, the mapping is
+immutable for the lifetime of that flow" (§3.2) — this prevents loss of
+connection state without a handover system.  New flows always go to the
+currently-best destination; existing flows stay put.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """Transport 5-tuple identifying a flow."""
+
+    proto: str
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+
+    def __post_init__(self) -> None:
+        if self.proto not in ("tcp", "udp"):
+            raise ValueError(f"unsupported protocol {self.proto!r}")
+        for port in (self.src_port, self.dst_port):
+            if not 0 < port <= 65535:
+                raise ValueError(f"invalid port {port}")
+
+
+@dataclass
+class FlowEntry:
+    """A live flow pinned to a destination prefix."""
+
+    five_tuple: FiveTuple
+    destination_prefix: str
+    created_at_s: float
+    bytes_sent: int = 0
+
+    def record_bytes(self, count: int) -> None:
+        if count < 0:
+            raise ValueError("byte count must be non-negative")
+        self.bytes_sent += count
+
+
+class FlowTable:
+    """Immutable-once-mapped flow-to-destination table."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[FiveTuple, FlowEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, five_tuple: FiveTuple) -> bool:
+        return five_tuple in self._entries
+
+    def lookup(self, five_tuple: FiveTuple) -> Optional[FlowEntry]:
+        return self._entries.get(five_tuple)
+
+    def map_flow(
+        self, five_tuple: FiveTuple, destination_prefix: str, now_s: float
+    ) -> FlowEntry:
+        """Pin a new flow.  Re-mapping an existing flow is an error."""
+        if five_tuple in self._entries:
+            raise ValueError(f"flow {five_tuple} already mapped; mappings are immutable")
+        entry = FlowEntry(
+            five_tuple=five_tuple,
+            destination_prefix=destination_prefix,
+            created_at_s=now_s,
+        )
+        self._entries[five_tuple] = entry
+        return entry
+
+    def end_flow(self, five_tuple: FiveTuple) -> FlowEntry:
+        try:
+            return self._entries.pop(five_tuple)
+        except KeyError:
+            raise KeyError(f"flow {five_tuple} not in table") from None
+
+    def flows_to(self, destination_prefix: str) -> List[FlowEntry]:
+        return [
+            entry
+            for entry in self._entries.values()
+            if entry.destination_prefix == destination_prefix
+        ]
+
+    def destinations(self) -> Dict[str, int]:
+        """Live-flow count per destination prefix."""
+        counts: Dict[str, int] = {}
+        for entry in self._entries.values():
+            counts[entry.destination_prefix] = counts.get(entry.destination_prefix, 0) + 1
+        return counts

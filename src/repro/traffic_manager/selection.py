@@ -1,0 +1,99 @@
+"""Destination-selection policies for TM-Edge.
+
+"Given a set of available destinations (prefixes), the Traffic Manager can
+use different destination selection policies ... We follow high-level
+lessons from prior work about how to select destinations to avoid
+oscillations" (§3.2, citing Gao et al.'s route-control damping).  The
+default policy is lowest-latency with hysteresis: switch only when another
+destination has been meaningfully better for several consecutive rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class SelectionPolicyConfig:
+    #: Required relative improvement before switching (anti-oscillation).
+    switch_threshold: float = 0.05
+    #: Consecutive rounds a challenger must win before a switch.
+    stability_rounds: int = 3
+
+    def __post_init__(self) -> None:
+        if self.switch_threshold < 0:
+            raise ValueError("switch_threshold must be non-negative")
+        if self.stability_rounds < 1:
+            raise ValueError("stability_rounds must be >= 1")
+
+
+class LowestLatencySelector:
+    """Hysteretic lowest-latency destination selection.
+
+    Feed it one latency snapshot per measurement round via
+    :meth:`update`; read the chosen destination from :attr:`current`.
+    Unreachable destinations (``inf``) trigger an immediate switch — failover
+    must not wait out the hysteresis.
+    """
+
+    def __init__(self, config: Optional[SelectionPolicyConfig] = None) -> None:
+        self._config = config or SelectionPolicyConfig()
+        self._current: Optional[str] = None
+        self._challenger: Optional[str] = None
+        self._challenger_rounds = 0
+        self._switch_count = 0
+
+    @property
+    def current(self) -> Optional[str]:
+        return self._current
+
+    @property
+    def switch_count(self) -> int:
+        return self._switch_count
+
+    def update(self, latencies_ms: Mapping[str, float]) -> Optional[str]:
+        """Incorporate one measurement round; returns the (new) selection."""
+        live = {name: lat for name, lat in latencies_ms.items() if not math.isinf(lat)}
+        if not live:
+            self._current = None
+            self._challenger = None
+            self._challenger_rounds = 0
+            return None
+
+        best = min(live, key=lambda name: (live[name], name))
+
+        if self._current is None or self._current not in live:
+            # First selection or current destination died: switch immediately.
+            if self._current is not None:
+                self._switch_count += 1
+            self._current = best
+            self._challenger = None
+            self._challenger_rounds = 0
+            return self._current
+
+        current_latency = live[self._current]
+        if best == self._current:
+            self._challenger = None
+            self._challenger_rounds = 0
+            return self._current
+
+        improvement = (current_latency - live[best]) / current_latency
+        if improvement < self._config.switch_threshold:
+            self._challenger = None
+            self._challenger_rounds = 0
+            return self._current
+
+        if best == self._challenger:
+            self._challenger_rounds += 1
+        else:
+            self._challenger = best
+            self._challenger_rounds = 1
+
+        if self._challenger_rounds >= self._config.stability_rounds:
+            self._current = best
+            self._challenger = None
+            self._challenger_rounds = 0
+            self._switch_count += 1
+        return self._current

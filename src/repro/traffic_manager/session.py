@@ -1,0 +1,177 @@
+"""Workload-driven TM-Edge simulation.
+
+Drives a TM-Edge through a flow workload over simulated time: flows arrive
+and get pinned to the then-best destination (immutable per flow, §3.2), the
+edge re-measures its tunnels periodically, and paths may die mid-run.
+Reports what an operator would ask about a steering deployment:
+
+* where did flows and bytes actually go;
+* what latency did flows experience (volume-weighted);
+* how many flows were disrupted by a path failure (their pinned destination
+  died under them — the cost of immutable mappings without a
+  connection-handover system, which the paper accepts deliberately).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.simulation.events import EventLoop
+from repro.traffic_manager.selection import LowestLatencySelector, SelectionPolicyConfig
+
+#: rtt_ms(destination, time_s) -> latency, inf when the path is down.
+PathOracle = Callable[[str, float], float]
+
+
+@dataclass(frozen=True)
+class SessionFlow:
+    """One flow offered to the edge."""
+
+    flow_id: int
+    start_s: float
+    duration_s: float
+    bytes_total: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if self.bytes_total < 0:
+            raise ValueError("bytes must be non-negative")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass
+class SessionMetrics:
+    """What happened during the run."""
+
+    flows_offered: int = 0
+    flows_steered: int = 0
+    flows_unroutable: int = 0
+    flows_disrupted: int = 0
+    bytes_by_destination: Dict[str, float] = field(default_factory=dict)
+    latency_weighted_bytes: float = 0.0
+    total_bytes: float = 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if self.total_bytes <= 0:
+            return 0.0
+        return self.latency_weighted_bytes / self.total_bytes
+
+    @property
+    def disruption_rate(self) -> float:
+        if self.flows_steered == 0:
+            return 0.0
+        return self.flows_disrupted / self.flows_steered
+
+
+class EdgeSession:
+    """Runs a flow workload against a set of measured destinations."""
+
+    def __init__(
+        self,
+        destinations: Sequence[str],
+        oracle: PathOracle,
+        measure_interval_s: float = 1.0,
+        selection: Optional[SelectionPolicyConfig] = None,
+    ) -> None:
+        if not destinations:
+            raise ValueError("need at least one destination")
+        if measure_interval_s <= 0:
+            raise ValueError("measure interval must be positive")
+        self._destinations = list(dict.fromkeys(destinations))
+        self._oracle = oracle
+        self._measure_interval_s = measure_interval_s
+        self._selector = LowestLatencySelector(selection or SelectionPolicyConfig())
+
+    def run(self, flows: Sequence[SessionFlow], duration_s: float) -> SessionMetrics:
+        """Simulate the workload; returns the collected metrics."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        loop = EventLoop()
+        metrics = SessionMetrics()
+        #: flow_id -> (destination, flow); flows live here while active.
+        active: Dict[int, Tuple[str, SessionFlow]] = {}
+
+        def measure(loop: EventLoop) -> None:
+            rtts = {
+                dest: self._oracle(dest, loop.now_s) for dest in self._destinations
+            }
+            previous = {
+                dest for dest, rtt in rtts.items() if math.isinf(rtt)
+            }
+            self._selector.update(rtts)
+            # Flows pinned to a destination that just died are disrupted.
+            for flow_id, (dest, _flow) in list(active.items()):
+                if dest in previous:
+                    metrics.flows_disrupted += 1
+                    del active[flow_id]
+            if loop.now_s + self._measure_interval_s <= duration_s:
+                loop.schedule_in(self._measure_interval_s, measure)
+
+        def admit(flow: SessionFlow) -> Callable[[EventLoop], None]:
+            def _admit(loop: EventLoop) -> None:
+                metrics.flows_offered += 1
+                destination = self._selector.current
+                if destination is None:
+                    metrics.flows_unroutable += 1
+                    return
+                rtt = self._oracle(destination, loop.now_s)
+                if math.isinf(rtt):
+                    metrics.flows_unroutable += 1
+                    return
+                metrics.flows_steered += 1
+                active[flow.flow_id] = (destination, flow)
+                metrics.bytes_by_destination[destination] = (
+                    metrics.bytes_by_destination.get(destination, 0.0) + flow.bytes_total
+                )
+                metrics.total_bytes += flow.bytes_total
+                metrics.latency_weighted_bytes += flow.bytes_total * rtt
+                loop.schedule_at(min(flow.end_s, duration_s), finish(flow.flow_id))
+
+            return _admit
+
+        def finish(flow_id: int) -> Callable[[EventLoop], None]:
+            def _finish(loop: EventLoop) -> None:
+                active.pop(flow_id, None)
+
+            return _finish
+
+        loop.schedule_at(0.0, measure)
+        for flow in flows:
+            if flow.start_s <= duration_s:
+                loop.schedule_at(flow.start_s, admit(flow))
+        loop.run_until(duration_s)
+        return metrics
+
+
+def constant_oracle(rtts: Mapping[str, float]) -> PathOracle:
+    """A time-invariant oracle from a destination->RTT table."""
+
+    def oracle(destination: str, _time_s: float) -> float:
+        try:
+            return rtts[destination]
+        except KeyError:
+            raise KeyError(f"unknown destination {destination!r}") from None
+
+    return oracle
+
+
+def failing_oracle(
+    rtts: Mapping[str, float], failures: Mapping[str, float]
+) -> PathOracle:
+    """An oracle where ``failures[dest]`` marks the time a path dies."""
+    base = constant_oracle(rtts)
+
+    def oracle(destination: str, time_s: float) -> float:
+        failed_at = failures.get(destination)
+        if failed_at is not None and time_s >= failed_at:
+            return math.inf
+        return base(destination, time_s)
+
+    return oracle

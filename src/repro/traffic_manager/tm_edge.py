@@ -1,0 +1,129 @@
+"""TM-Edge: the edge-proxy side of the Traffic Manager.
+
+A TM-Edge lives in a cloud-edge network stack inside the enterprise.  It
+resolves the available destination prefixes per service (§3.2), measures
+them continuously, selects the best via a hysteretic policy, maps new flows
+to the current selection (immutably, per flow), and tunnels packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional
+
+from repro.traffic_manager.flows import FiveTuple, FlowEntry, FlowTable
+from repro.traffic_manager.selection import LowestLatencySelector, SelectionPolicyConfig
+from repro.traffic_manager.tm_pop import PrefixDirectory, TMPoP
+from repro.traffic_manager.tunnel import Packet, encapsulate
+
+
+@dataclass
+class TunnelState:
+    """One established tunnel from this edge to a destination prefix."""
+
+    prefix: str
+    tm_pop_name: str
+    last_rtt_ms: float = float("inf")
+
+    @property
+    def is_up(self) -> bool:
+        return self.last_rtt_ms != float("inf")
+
+
+class TMEdge:
+    """The edge proxy node: resolution, measurement, selection, mapping."""
+
+    def __init__(
+        self,
+        edge_ip: str,
+        directory: PrefixDirectory,
+        selection: Optional[SelectionPolicyConfig] = None,
+    ) -> None:
+        self._edge_ip = edge_ip
+        self._directory = directory
+        self._tunnels: Dict[str, Dict[str, TunnelState]] = {}  # service -> prefix -> state
+        self._selectors: Dict[str, LowestLatencySelector] = {}
+        self._selection_config = selection or SelectionPolicyConfig()
+        self._flows = FlowTable()
+
+    @property
+    def edge_ip(self) -> str:
+        return self._edge_ip
+
+    @property
+    def flow_table(self) -> FlowTable:
+        return self._flows
+
+    # -- resolving available prefixes (§3.2) --------------------------------
+
+    def resolve_service(self, service: str) -> FrozenSet[str]:
+        """Query the directory, establish tunnels, learn prefix->PoP mapping."""
+        prefixes = self._directory.prefixes_for_service(service)
+        tunnels = self._tunnels.setdefault(service, {})
+        for prefix in prefixes:
+            if prefix in tunnels:
+                continue
+            tm_pop = self._directory.pop_for_prefix(prefix)
+            if tm_pop is None:
+                continue  # prefix announced but no TM-PoP behind it yet
+            tunnels[prefix] = TunnelState(prefix=prefix, tm_pop_name=tm_pop.name)
+        # Drop tunnels whose prefix is no longer available.
+        for prefix in list(tunnels):
+            if prefix not in prefixes:
+                del tunnels[prefix]
+        self._selectors.setdefault(service, LowestLatencySelector(self._selection_config))
+        return frozenset(tunnels)
+
+    def tunnel_map(self, service: str) -> Mapping[str, str]:
+        """The learned destination-prefix -> TM-PoP mapping for a service."""
+        return {
+            prefix: state.tm_pop_name
+            for prefix, state in self._tunnels.get(service, {}).items()
+        }
+
+    # -- measurement + selection -----------------------------------------------
+
+    def record_measurements(self, service: str, rtts_ms: Mapping[str, float]) -> Optional[str]:
+        """Feed one round of tunnel RTTs; returns the selected prefix."""
+        tunnels = self._tunnels.get(service)
+        if tunnels is None:
+            raise KeyError(f"service {service!r} not resolved yet")
+        for prefix, rtt in rtts_ms.items():
+            if prefix in tunnels:
+                tunnels[prefix].last_rtt_ms = rtt
+        selector = self._selectors[service]
+        return selector.update(
+            {prefix: state.last_rtt_ms for prefix, state in tunnels.items()}
+        )
+
+    def selected_prefix(self, service: str) -> Optional[str]:
+        selector = self._selectors.get(service)
+        return None if selector is None else selector.current
+
+    # -- flow handling ------------------------------------------------------------
+
+    def admit_flow(self, service: str, five_tuple: FiveTuple, now_s: float) -> FlowEntry:
+        """Map a *new* flow to the currently-best destination (immutable)."""
+        existing = self._flows.lookup(five_tuple)
+        if existing is not None:
+            return existing
+        selected = self.selected_prefix(service)
+        if selected is None:
+            raise RuntimeError(f"no live destination for service {service!r}")
+        return self._flows.map_flow(five_tuple, selected, now_s)
+
+    def forward(self, service: str, packet: Packet, five_tuple: FiveTuple, now_s: float) -> Packet:
+        """Tunnel a client packet along its flow's pinned destination."""
+        entry = self._flows.lookup(five_tuple)
+        if entry is None:
+            entry = self.admit_flow(service, five_tuple, now_s)
+        entry.record_bytes(packet.payload_bytes)
+        return encapsulate(packet, edge_ip=self._edge_ip, tunnel_dst_ip=_prefix_address(entry.destination_prefix))
+
+
+def _prefix_address(prefix: str) -> str:
+    """A representative destination address inside a /24 prefix."""
+    base = prefix.split("/")[0]
+    octets = base.split(".")
+    octets[-1] = "1"
+    return ".".join(octets)

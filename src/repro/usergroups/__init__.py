@@ -1,0 +1,20 @@
+"""User groups: population generation and policy-compliant ingresses."""
+
+from repro.usergroups.generation import (
+    UserGroupConfig,
+    generate_user_groups,
+    total_volume,
+    zipf_weights,
+)
+from repro.usergroups.ingresses import IngressCatalog, policy_compliant_peerings
+from repro.usergroups.usergroup import UserGroup
+
+__all__ = [
+    "IngressCatalog",
+    "UserGroup",
+    "UserGroupConfig",
+    "generate_user_groups",
+    "policy_compliant_peerings",
+    "total_volume",
+    "zipf_weights",
+]

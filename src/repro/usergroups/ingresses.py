@@ -1,0 +1,92 @@
+"""Policy-compliant ingress derivation (§3.1).
+
+The paper derives, for each UG, the set of peerings through which traffic
+*could* enter the cloud consistent with routing policy:
+
+1. a peering is policy-compliant if the UG's own prefixes are announced over
+   it (here: the peer AS *is* the UG's AS — a direct peering);
+2. a peering is policy-compliant if the UG's AS is in the peer's customer
+   cone (the peer will carry its customers' traffic anywhere);
+3. every UG is policy-compliant through the cloud's transit providers
+   ("we add all UGs to customer cones of Azure transit providers").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence
+
+from repro.topology.builder import Topology
+from repro.topology.cloud import Peering
+from repro.usergroups.usergroup import UserGroup
+
+
+def policy_compliant_peerings(ug: UserGroup, topology: Topology) -> List[Peering]:
+    """All peerings through which ``ug`` can reach the cloud per policy."""
+    deployment = topology.deployment
+    graph = topology.graph
+    result: List[Peering] = []
+    for peering in deployment.peerings:
+        if peering.is_transit:
+            result.append(peering)  # rule 3: transit carries everyone
+            continue
+        if peering.peer_asn == ug.asn:
+            result.append(peering)  # rule 1: direct peering
+            continue
+        if peering.peer_asn in graph and graph.in_customer_cone(ug.asn, of=peering.peer_asn):
+            result.append(peering)  # rule 2: customer cone
+    return result
+
+
+class IngressCatalog:
+    """Precomputed policy-compliant ingress sets for a UG population.
+
+    The orchestrator consults these sets constantly (every improvement
+    evaluation in Algorithm 1), so they are computed once.  Matches the
+    paper's observation that "UGs tend to have paths via a relatively small
+    fraction of ingresses" for non-transit peerings, with transit providers
+    forming the shared floor.
+    """
+
+    def __init__(self, topology: Topology, ugs: Sequence[UserGroup]) -> None:
+        self._topology = topology
+        self._ugs = list(ugs)
+        self._by_ug: Dict[int, FrozenSet[int]] = {}
+        for ug in self._ugs:
+            peerings = policy_compliant_peerings(ug, topology)
+            self._by_ug[ug.ug_id] = frozenset(p.peering_id for p in peerings)
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def user_groups(self) -> List[UserGroup]:
+        return list(self._ugs)
+
+    def ingress_ids(self, ug: UserGroup) -> FrozenSet[int]:
+        try:
+            return self._by_ug[ug.ug_id]
+        except KeyError:
+            raise KeyError(f"UG {ug.ug_id} not in catalog") from None
+
+    def ingresses(self, ug: UserGroup) -> List[Peering]:
+        deployment = self._topology.deployment
+        return [deployment.peering(pid) for pid in sorted(self.ingress_ids(ug))]
+
+    def is_compliant(self, ug: UserGroup, peering: Peering) -> bool:
+        return peering.peering_id in self.ingress_ids(ug)
+
+    def compliant_subset(self, ug: UserGroup, peering_ids: Iterable[int]) -> FrozenSet[int]:
+        """The subset of ``peering_ids`` that are policy-compliant for ``ug``."""
+        return self.ingress_ids(ug) & frozenset(peering_ids)
+
+    def coverage_stats(self) -> Mapping[str, float]:
+        """Summary statistics used in tests and the scaling experiments."""
+        counts = [len(self._by_ug[ug.ug_id]) for ug in self._ugs]
+        if not counts:
+            return {"min": 0.0, "mean": 0.0, "max": 0.0}
+        return {
+            "min": float(min(counts)),
+            "mean": sum(counts) / len(counts),
+            "max": float(max(counts)),
+        }

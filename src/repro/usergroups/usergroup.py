@@ -1,0 +1,40 @@
+"""User groups: the unit PAINTER optimizes for.
+
+"To simplify calculation, we logically group users in the same AS and large
+metropolitan area, referring to each group as a UG (user group)" (§3.1).
+Each UG carries a traffic-volume weight used in the benefit objective
+(Eq. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.topology.geo import GeoPoint, Metro
+
+
+@dataclass(frozen=True)
+class UserGroup:
+    """Users of one AS in one metropolitan area."""
+
+    ug_id: int
+    asn: int
+    metro: Metro
+    volume: float
+
+    def __post_init__(self) -> None:
+        if self.volume < 0:
+            raise ValueError(f"volume must be non-negative, got {self.volume}")
+
+    @property
+    def location(self) -> GeoPoint:
+        return self.metro.location
+
+    @property
+    def key(self) -> Tuple[int, str]:
+        """Natural identity of a UG: (ASN, metro name)."""
+        return (self.asn, self.metro.name)
+
+    def __str__(self) -> str:
+        return f"UG{self.ug_id}[AS{self.asn}@{self.metro.name}, w={self.volume:.2f}]"

@@ -1,0 +1,31 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+
+def stable_rng(*key: object) -> random.Random:
+    """A deterministic RNG derived from a structured key.
+
+    ``random.Random`` accepts string seeds (hashed with SHA-512 internally,
+    unaffected by ``PYTHONHASHSEED``), so rendering the key via ``repr``
+    gives stable streams across processes and platforms.
+    """
+    return random.Random(repr(key))
+
+
+def percentile(sorted_values, fraction: float) -> float:
+    """Linear-interpolated percentile of an ascending-sorted sequence."""
+    if not sorted_values:
+        raise ValueError("no values")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0,1]")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = fraction * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    weight = position - low
+    return float(sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight)

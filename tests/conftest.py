@@ -1,0 +1,89 @@
+"""Shared fixtures: small deterministic worlds reused across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import Scenario, build_scenario, tiny_scenario
+from repro.topology.asn import ASRole, AutonomousSystem, Relationship
+from repro.topology.builder import TopologyConfig
+from repro.topology.cloud import CloudDeployment
+from repro.topology.geo import metro_by_name
+from repro.topology.graph import ASGraph
+from repro.usergroups.generation import UserGroupConfig
+
+
+@pytest.fixture(scope="session")
+def scenario() -> Scenario:
+    """The standard tiny world (6 PoPs, ~30 peerings, 60 UGs)."""
+    return tiny_scenario(seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_scenario() -> Scenario:
+    """A slightly larger world for analyses needing more diversity."""
+    return build_scenario(
+        name="small",
+        topology_config=TopologyConfig(
+            seed=7,
+            n_pops=10,
+            n_tier1=3,
+            n_transit=6,
+            n_regional=24,
+            n_stub=120,
+        ),
+        ug_config=UserGroupConfig(seed=8, n_ugs=120),
+    )
+
+
+@pytest.fixture()
+def micro_graph() -> ASGraph:
+    """A hand-built AS graph with known structure.
+
+    Topology (provider -> customer edges point down)::
+
+            T1 ===== T2          (tier-1 peering)
+            /  \\      \\
+          P1    P2     P3        (regional providers)
+          |      |    /  |
+          S1    S2 --+   S3      (stubs; S2 is multihomed to P2 and P3)
+
+    Cloud (AS 1) buys transit from T1 and peers with P3.
+    """
+    graph = ASGraph()
+    metro = metro_by_name("new-york")
+    for asn, role in [
+        (1, ASRole.CLOUD),
+        (10, ASRole.TIER1),
+        (11, ASRole.TIER1),
+        (20, ASRole.REGIONAL),
+        (21, ASRole.REGIONAL),
+        (22, ASRole.REGIONAL),
+        (30, ASRole.STUB),
+        (31, ASRole.STUB),
+        (32, ASRole.STUB),
+    ]:
+        graph.add_as(AutonomousSystem(asn=asn, role=role, home_metro=metro))
+    graph.add_peering_link(10, 11)
+    graph.add_provider_customer(10, 20)
+    graph.add_provider_customer(10, 21)
+    graph.add_provider_customer(11, 22)
+    graph.add_provider_customer(20, 30)
+    graph.add_provider_customer(21, 31)
+    graph.add_provider_customer(22, 31)
+    graph.add_provider_customer(22, 32)
+    graph.add_provider_customer(10, 1)  # T1 is the cloud's transit
+    graph.add_peering_link(1, 22)  # cloud peers with P3 (AS 22)
+    return graph
+
+
+@pytest.fixture()
+def micro_deployment() -> CloudDeployment:
+    """Two-PoP deployment matching :func:`micro_graph`'s neighbors."""
+    deployment = CloudDeployment(name="micro")
+    pop_a = deployment.add_pop("pop-a", metro_by_name("new-york"))
+    pop_b = deployment.add_pop("pop-b", metro_by_name("london"))
+    deployment.add_peering(pop_a, 10, Relationship.PROVIDER)
+    deployment.add_peering(pop_b, 10, Relationship.PROVIDER)
+    deployment.add_peering(pop_a, 22, Relationship.PEER)
+    return deployment

@@ -1,0 +1,57 @@
+"""AS-path prepending: the advertisement attribute that steers at a distance."""
+
+import pytest
+
+from repro.bgp.route import Route
+from repro.bgp.simulator import BGPSimulator
+from repro.topology.asn import Relationship
+
+PREFIX = "184.164.230.0/24"
+
+
+class TestRoutePrepend:
+    def test_prepend_lengthens_decision_path(self):
+        plain = Route(prefix=PREFIX, as_path=(1,), relationship=Relationship.PEER)
+        padded = Route(
+            prefix=PREFIX, as_path=(1,), relationship=Relationship.PEER, prepend=3
+        )
+        assert padded.path_length == plain.path_length + 3
+
+    def test_negative_prepend_rejected(self):
+        with pytest.raises(ValueError):
+            Route(prefix=PREFIX, as_path=(1,), relationship=Relationship.PEER, prepend=-1)
+
+    def test_prepend_survives_extension(self):
+        route = Route(
+            prefix=PREFIX, as_path=(1,), relationship=Relationship.PEER, prepend=2
+        )
+        extended = route.extend_through(9, Relationship.PROVIDER)
+        assert extended.prepend == 2
+        assert extended.path_length == 4
+
+
+class TestSimulatorPrepend:
+    def test_prepending_shifts_route_choice(self, micro_graph):
+        """S2 (AS 31) normally prefers the short path via P3 (AS 22); heavy
+        prepending on the AS 22 session pushes it onto the T1 path."""
+        sim = BGPSimulator(micro_graph, origin_asn=1, tie_break_seed=0)
+        baseline = sim.propagate(PREFIX, [10, 22])
+        assert baseline[31].as_path == (22, 1)
+        shifted = sim.propagate(PREFIX, [10, 22], prepend={22: 5})
+        assert shifted[31].as_path == (21, 10, 1)
+
+    def test_prepending_does_not_break_reachability(self, micro_graph):
+        sim = BGPSimulator(micro_graph, origin_asn=1, tie_break_seed=0)
+        plain = sim.propagate(PREFIX, [10, 22])
+        padded = sim.propagate(PREFIX, [10, 22], prepend={10: 4, 22: 4})
+        assert set(plain) == set(padded)
+
+    def test_prepend_only_affects_that_session(self, micro_graph):
+        sim = BGPSimulator(micro_graph, origin_asn=1, tie_break_seed=0)
+        routes = sim.propagate(PREFIX, [10, 22], prepend={22: 5})
+        # Routes entering via AS 10 carry no prepend.
+        for asn, route in routes.items():
+            if route.as_path[-2:] == (10, 1):
+                assert route.prepend == 0
+            if route.as_path[-2:] == (22, 1):
+                assert route.prepend == 5

@@ -1,0 +1,117 @@
+"""BGP route objects, decision process, export policy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.route import Route, better_route, decision_key, may_export
+from repro.topology.asn import Relationship
+
+
+def route(path, rel=Relationship.CUSTOMER, prefix="10.0.0.0/24"):
+    return Route(prefix=prefix, as_path=tuple(path), relationship=rel)
+
+
+class TestRoute:
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            route([])
+
+    def test_looped_path_rejected(self):
+        with pytest.raises(ValueError):
+            route([1, 2, 1])
+
+    def test_accessors(self):
+        r = route([5, 6, 7], Relationship.PEER)
+        assert r.learned_from == 5
+        assert r.origin_asn == 7
+        assert r.path_length == 3
+        assert r.contains_asn(6)
+        assert not r.contains_asn(99)
+
+    def test_extend_through(self):
+        r = route([2, 1])
+        extended = r.extend_through(3, Relationship.PROVIDER)
+        assert extended.as_path == (3, 2, 1)
+        assert extended.relationship is Relationship.PROVIDER
+        assert extended.prefix == r.prefix
+
+    def test_extend_through_loop_rejected(self):
+        r = route([2, 1])
+        with pytest.raises(ValueError):
+            r.extend_through(2, Relationship.PEER)
+
+    def test_local_preference_follows_relationship(self):
+        assert (
+            route([1], Relationship.CUSTOMER).local_preference
+            > route([1], Relationship.PEER).local_preference
+            > route([1], Relationship.PROVIDER).local_preference
+        )
+
+
+class TestDecision:
+    def test_customer_beats_shorter_provider(self):
+        customer = route([2, 3, 4, 1], Relationship.CUSTOMER)
+        provider = route([5, 1], Relationship.PROVIDER)
+        assert better_route(customer, 0.9, provider, 0.1)
+
+    def test_shorter_path_wins_same_relationship(self):
+        short = route([2, 1], Relationship.PEER)
+        long = route([3, 4, 1], Relationship.PEER)
+        assert better_route(short, 0.9, long, 0.1)
+
+    def test_tie_break_used_last(self):
+        a = route([2, 1], Relationship.PEER)
+        b = route([3, 1], Relationship.PEER)
+        assert better_route(a, 0.1, b, 0.2)
+        assert not better_route(a, 0.2, b, 0.1)
+
+    def test_anything_beats_none(self):
+        assert better_route(route([1]), 0.5, None, 0.0)
+
+    def test_decision_key_total_order(self):
+        routes = [
+            (route([2, 1], Relationship.PROVIDER), 0.5),
+            (route([3, 1], Relationship.PEER), 0.5),
+            (route([4, 5, 1], Relationship.CUSTOMER), 0.5),
+        ]
+        ordered = sorted(routes, key=lambda rt: decision_key(rt[0], rt[1]))
+        assert ordered[0][0].relationship is Relationship.CUSTOMER
+        assert ordered[-1][0].relationship is Relationship.PROVIDER
+
+
+class TestExportPolicy:
+    @pytest.mark.parametrize("target", list(Relationship))
+    def test_customer_routes_exported_everywhere(self, target):
+        assert may_export(Relationship.CUSTOMER, target)
+
+    @pytest.mark.parametrize("source", [Relationship.PEER, Relationship.PROVIDER])
+    def test_peer_provider_routes_only_to_customers(self, source):
+        assert may_export(source, Relationship.CUSTOMER)
+        assert not may_export(source, Relationship.PEER)
+        assert not may_export(source, Relationship.PROVIDER)
+
+
+rels = st.sampled_from(list(Relationship))
+
+
+class TestRouteProperties:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=8, unique=True),
+        rels,
+    )
+    def test_route_roundtrip_properties(self, path, rel):
+        r = route(path, rel)
+        assert r.learned_from == path[0]
+        assert r.origin_asn == path[-1]
+        assert r.path_length == len(path)
+
+    @given(
+        st.lists(st.integers(min_value=2, max_value=1000), min_size=1, max_size=7, unique=True),
+        rels,
+        rels,
+    )
+    def test_extension_preserves_suffix(self, path, rel_a, rel_b):
+        r = route(path, rel_a)
+        extended = r.extend_through(1, rel_b)
+        assert extended.as_path[1:] == r.as_path
+        assert extended.path_length == r.path_length + 1

@@ -1,0 +1,111 @@
+"""Advertisement configurations: construction, mutation, invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.advertisement import AdvertisementConfig
+
+
+class TestConstruction:
+    def test_empty(self):
+        config = AdvertisementConfig()
+        assert config.prefix_count == 0
+        assert config.pair_count == 0
+        assert config.prefixes == []
+        assert config.reuse_factor() == 0.0
+
+    def test_from_pairs(self):
+        config = AdvertisementConfig.from_pairs([(0, 1), (0, 2), (1, 3)])
+        assert config.prefix_count == 2
+        assert config.pair_count == 3
+        assert config.peerings_for(0) == frozenset({1, 2})
+        assert config.peerings_for(1) == frozenset({3})
+
+    def test_negative_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            AdvertisementConfig().add(-1, 0)
+
+    def test_add_idempotent(self):
+        config = AdvertisementConfig()
+        config.add(0, 5)
+        config.add(0, 5)
+        assert config.pair_count == 1
+
+
+class TestMutation:
+    def test_remove(self):
+        config = AdvertisementConfig.from_pairs([(0, 1), (0, 2)])
+        config.remove(0, 1)
+        assert config.peerings_for(0) == frozenset({2})
+
+    def test_remove_last_drops_prefix(self):
+        config = AdvertisementConfig.from_pairs([(0, 1)])
+        config.remove(0, 1)
+        assert config.prefix_count == 0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            AdvertisementConfig().remove(0, 1)
+
+    def test_copy_is_independent(self):
+        config = AdvertisementConfig.from_pairs([(0, 1)])
+        clone = config.copy()
+        clone.add(0, 2)
+        assert config.pair_count == 1
+        assert clone.pair_count == 2
+
+
+class TestQueries:
+    def test_advertises(self):
+        config = AdvertisementConfig.from_pairs([(2, 7)])
+        assert config.advertises(2, 7)
+        assert not config.advertises(2, 8)
+        assert not config.advertises(3, 7)
+
+    def test_pairs_sorted(self):
+        config = AdvertisementConfig.from_pairs([(1, 9), (0, 5), (1, 2)])
+        assert list(config.pairs()) == [(0, 5), (1, 2), (1, 9)]
+
+    def test_all_peering_ids(self):
+        config = AdvertisementConfig.from_pairs([(0, 1), (1, 1), (1, 2)])
+        assert config.all_peering_ids() == frozenset({1, 2})
+
+    def test_reuse_factor(self):
+        config = AdvertisementConfig.from_pairs([(0, 1), (0, 2), (0, 3), (1, 4)])
+        assert config.reuse_factor() == pytest.approx(2.0)
+
+    def test_equality(self):
+        a = AdvertisementConfig.from_pairs([(0, 1), (1, 2)])
+        b = AdvertisementConfig.from_pairs([(1, 2), (0, 1)])
+        assert a == b
+        b.add(1, 3)
+        assert a != b
+
+    def test_str_mentions_counts(self):
+        config = AdvertisementConfig.from_pairs([(0, 1), (0, 2)])
+        assert "1 prefixes" in str(config)
+        assert "2 pairs" in str(config)
+
+
+pairs_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=30)),
+    max_size=40,
+)
+
+
+class TestProperties:
+    @given(pairs_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_counts_consistent(self, pairs):
+        config = AdvertisementConfig.from_pairs(pairs)
+        assert config.pair_count == len(set(pairs))
+        assert config.prefix_count == len({p for p, _ in set(pairs)})
+        assert config.pair_count == len(list(config.pairs()))
+
+    @given(pairs_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_mapping_roundtrip(self, pairs):
+        config = AdvertisementConfig.from_pairs(pairs)
+        rebuilt = AdvertisementConfig.from_pairs(config.pairs())
+        assert rebuilt == config
+        assert rebuilt.as_mapping() == config.as_mapping()

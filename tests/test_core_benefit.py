@@ -1,0 +1,167 @@
+"""Benefit math: Eq. 1/2, ranges, realized improvements."""
+
+import pytest
+
+from repro.core.advertisement import AdvertisementConfig
+from repro.core.benefit import (
+    BenefitEvaluator,
+    BenefitRange,
+    best_prefix_choices,
+    realized_benefit,
+    realized_improvement,
+)
+from repro.core.routing_model import RoutingModel
+
+
+@pytest.fixture()
+def evaluator(scenario):
+    return BenefitEvaluator(scenario, RoutingModel(scenario.catalog))
+
+
+def _config_for(scenario, ug, k=3):
+    """A single-prefix config over the UG's best few ingresses."""
+    model = scenario.latency_model
+    deployment = scenario.deployment
+    best = sorted(
+        scenario.catalog.ingress_ids(ug),
+        key=lambda pid: model.latency_ms(ug, deployment.peering(pid)),
+    )[:k]
+    return AdvertisementConfig.from_pairs([(0, pid) for pid in best])
+
+
+class TestBenefitRange:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            BenefitRange(lower=5, mean=4, estimated=4.5, upper=6)
+
+    def test_uncertainty(self):
+        rng = BenefitRange(lower=1, mean=2, estimated=2.5, upper=4)
+        assert rng.uncertainty == pytest.approx(1.5)
+
+
+class TestExpectedImprovement:
+    def test_empty_config_zero(self, scenario, evaluator):
+        config = AdvertisementConfig()
+        for ug in scenario.user_groups[:10]:
+            assert evaluator.expected_improvement(ug, config) == 0.0
+        assert evaluator.expected_benefit(config) == 0.0
+
+    def test_never_negative(self, scenario, evaluator):
+        """Anycast fallback floors improvement at zero (§3.1)."""
+        # A config over the UG's *worst* ingresses still scores >= 0.
+        model = scenario.latency_model
+        deployment = scenario.deployment
+        ug = scenario.user_groups[0]
+        worst = sorted(
+            scenario.catalog.ingress_ids(ug),
+            key=lambda pid: -model.latency_ms(ug, deployment.peering(pid)),
+        )[:3]
+        config = AdvertisementConfig.from_pairs([(0, pid) for pid in worst])
+        assert evaluator.expected_improvement(ug, config) >= 0.0
+
+    def test_best_ingress_config_achieves_gap(self, scenario, evaluator):
+        ug = scenario.user_groups[0]
+        config = _config_for(scenario, ug, k=1)
+        expected = evaluator.expected_improvement(ug, config)
+        gap = scenario.anycast_latency_ms(ug) - scenario.best_possible_latency_ms(ug)
+        assert expected == pytest.approx(max(0.0, gap))
+
+    def test_benefit_weighted_sum(self, scenario, evaluator):
+        ug = scenario.user_groups[0]
+        config = _config_for(scenario, ug, k=1)
+        total = evaluator.expected_benefit(config)
+        manual = sum(
+            u.volume * evaluator.expected_improvement(u, config)
+            for u in scenario.user_groups
+        )
+        assert total == pytest.approx(manual)
+
+
+class TestRanges:
+    def test_range_ordering_invariant(self, scenario, evaluator):
+        ug = scenario.user_groups[0]
+        config = _config_for(scenario, ug, k=4)
+        rng = evaluator.benefit_range(ug, config)
+        assert rng.lower <= rng.mean <= rng.upper
+        assert rng.lower <= rng.estimated <= rng.upper
+
+    def test_single_ingress_range_degenerate(self, scenario, evaluator):
+        ug = scenario.user_groups[0]
+        config = _config_for(scenario, ug, k=1)
+        rng = evaluator.benefit_range(ug, config)
+        assert rng.lower == rng.mean == rng.estimated == rng.upper
+
+    def test_empty_config_zero_range(self, scenario, evaluator):
+        rng = evaluator.benefit_range(scenario.user_groups[0], AdvertisementConfig())
+        assert rng.upper == 0.0
+
+    def test_evaluation_aggregates(self, scenario, evaluator):
+        ug = scenario.user_groups[0]
+        config = _config_for(scenario, ug, k=3)
+        evaluation = evaluator.evaluate(config)
+        assert evaluation.lower <= evaluation.mean <= evaluation.upper
+        assert evaluation.lower <= evaluation.estimated <= evaluation.upper
+        assert set(evaluation.per_ug_estimated) == {
+            u.ug_id for u in scenario.user_groups
+        }
+
+    def test_as_fraction_of(self, scenario, evaluator):
+        ug = scenario.user_groups[0]
+        config = _config_for(scenario, ug, k=2)
+        evaluation = evaluator.evaluate(config)
+        scaled = evaluation.as_fraction_of(2.0)
+        assert scaled.estimated == pytest.approx(evaluation.estimated / 2.0)
+        with pytest.raises(ValueError):
+            evaluation.as_fraction_of(0.0)
+
+
+class TestRealized:
+    def test_realized_nonnegative(self, scenario):
+        ug = scenario.user_groups[0]
+        config = _config_for(scenario, ug, k=3)
+        for u in scenario.user_groups[:20]:
+            assert realized_improvement(scenario, u, config) >= 0.0
+
+    def test_realized_bounded_by_possible(self, scenario):
+        ug = scenario.user_groups[0]
+        config = _config_for(scenario, ug, k=3)
+        for u in scenario.user_groups[:20]:
+            possible = scenario.anycast_latency_ms(u) - scenario.best_possible_latency_ms(u)
+            assert realized_improvement(scenario, u, config) <= possible + 1e-9
+
+    def test_empty_config_zero_realized(self, scenario):
+        assert realized_benefit(scenario, AdvertisementConfig()) == 0.0
+
+    def test_fixed_prefix_never_beats_dynamic(self, scenario):
+        ug = scenario.user_groups[0]
+        config = _config_for(scenario, ug, k=2)
+        config.add(1, sorted(scenario.catalog.ingress_ids(ug))[0])
+        for u in scenario.user_groups[:15]:
+            dynamic = realized_improvement(scenario, u, config)
+            for prefix in config.prefixes:
+                pinned = realized_improvement(scenario, u, config, fixed_prefix=prefix)
+                assert pinned <= dynamic + 1e-9
+
+    def test_best_prefix_choices_are_optimal(self, scenario):
+        ug = scenario.user_groups[0]
+        config = _config_for(scenario, ug, k=2)
+        config.add(1, sorted(scenario.catalog.ingress_ids(ug))[-1])
+        choices = best_prefix_choices(scenario, config)
+        for u in scenario.user_groups[:15]:
+            if u.ug_id not in choices:
+                continue
+            chosen = realized_improvement(
+                scenario, u, config, fixed_prefix=choices[u.ug_id]
+            )
+            assert chosen == pytest.approx(realized_improvement(scenario, u, config))
+
+    def test_full_exposure_realizes_everything(self, scenario):
+        """One prefix per peering at full budget = the oracle bound."""
+        config = AdvertisementConfig.from_pairs(
+            (idx, p.peering_id) for idx, p in enumerate(scenario.deployment.peerings)
+        )
+        for u in scenario.user_groups[:20]:
+            possible = scenario.anycast_latency_ms(u) - scenario.best_possible_latency_ms(u)
+            assert realized_improvement(scenario, u, config) == pytest.approx(
+                max(0.0, possible)
+            )

@@ -1,0 +1,165 @@
+"""The routing model: candidate prediction, D_reuse, preference learning."""
+
+import pytest
+
+from repro.core.routing_model import DEFAULT_D_REUSE_KM, RoutingModel
+
+
+@pytest.fixture()
+def model(scenario):
+    return RoutingModel(scenario.catalog, d_reuse_km=DEFAULT_D_REUSE_KM)
+
+
+def _compliant_sample(scenario, ug, k=6):
+    return sorted(scenario.catalog.ingress_ids(ug))[:k]
+
+
+class TestCandidatePrediction:
+    def test_candidates_subset_of_advertised_and_compliant(self, scenario, model):
+        for ug in scenario.user_groups[:20]:
+            advertised = frozenset(_compliant_sample(scenario, ug))
+            candidates = model.candidate_ingresses(ug, advertised)
+            assert candidates <= advertised
+            assert candidates <= scenario.catalog.ingress_ids(ug)
+            assert candidates  # advertised set was compliant, so non-empty
+
+    def test_empty_when_nothing_compliant(self, scenario, model):
+        for ug in scenario.user_groups:
+            non_compliant = [
+                p.peering_id
+                for p in scenario.deployment.peerings
+                if p.peering_id not in scenario.catalog.ingress_ids(ug)
+            ]
+            if non_compliant:
+                assert (
+                    model.candidate_ingresses(ug, frozenset(non_compliant[:4]))
+                    == frozenset()
+                )
+                return
+        pytest.skip("all peerings compliant for all UGs in this seed")
+
+    def test_d_reuse_excludes_far_ingresses(self, scenario):
+        """With a small D_reuse, only near-closest candidates survive."""
+        tight = RoutingModel(scenario.catalog, d_reuse_km=1.0)
+        loose = RoutingModel(scenario.catalog, d_reuse_km=1e9)
+        for ug in scenario.user_groups[:20]:
+            advertised = frozenset(scenario.catalog.ingress_ids(ug))
+            tight_candidates = tight.candidate_ingresses(ug, advertised)
+            loose_candidates = loose.candidate_ingresses(ug, advertised)
+            assert tight_candidates <= loose_candidates
+            assert loose_candidates == advertised
+
+    def test_negative_d_reuse_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            RoutingModel(scenario.catalog, d_reuse_km=-5)
+
+
+class TestExpectedLatency:
+    def test_mean_over_candidates(self, scenario, model):
+        ug = scenario.user_groups[0]
+        advertised = frozenset(_compliant_sample(scenario, ug, k=4))
+        candidates = model.candidate_ingresses(ug, advertised)
+        latencies = {
+            pid: scenario.latency_model.latency_ms(ug, scenario.deployment.peering(pid))
+            for pid in candidates
+        }
+        expected = model.expected_latency_ms(
+            ug, advertised, lambda u, pid: latencies.get(pid)
+        )
+        assert expected == pytest.approx(sum(latencies.values()) / len(latencies))
+
+    def test_unmeasurable_ingresses_skipped(self, scenario, model):
+        ug = scenario.user_groups[0]
+        advertised = frozenset(_compliant_sample(scenario, ug, k=4))
+        candidates = sorted(model.candidate_ingresses(ug, advertised))
+        keep = candidates[0]
+        expected = model.expected_latency_ms(
+            ug, advertised, lambda u, pid: 10.0 if pid == keep else None
+        )
+        assert expected == pytest.approx(10.0)
+
+    def test_none_when_nothing_measurable(self, scenario, model):
+        ug = scenario.user_groups[0]
+        advertised = frozenset(_compliant_sample(scenario, ug, k=4))
+        assert model.expected_latency_ms(ug, advertised, lambda u, pid: None) is None
+
+
+class TestLearning:
+    def test_observation_requires_advertised_peering(self, scenario, model):
+        ug = scenario.user_groups[0]
+        advertised = frozenset(_compliant_sample(scenario, ug, k=3))
+        with pytest.raises(ValueError):
+            model.observe(ug, advertised, actual_peering_id=10_000)
+
+    def test_observation_creates_preferences(self, scenario, model):
+        ug = scenario.user_groups[0]
+        advertised = frozenset(_compliant_sample(scenario, ug, k=4))
+        winner = sorted(advertised)[0]
+        learned = model.observe(ug, advertised, winner)
+        assert learned == len(advertised) - 1
+        assert model.preference_count(ug) == learned
+        assert model.observation_count == 1
+
+    def test_losers_excluded_when_winner_present(self, scenario, model):
+        ug = scenario.user_groups[0]
+        advertised = frozenset(_compliant_sample(scenario, ug, k=4))
+        winner = sorted(advertised)[-1]
+        model.observe(ug, advertised, winner)
+        candidates = model.candidate_ingresses(ug, advertised)
+        assert candidates == frozenset({winner})
+
+    def test_winner_survives_d_reuse(self, scenario):
+        """An observed far-away winner must remain a candidate (the
+        Miami-routed-through-Tokyo lesson)."""
+        model = RoutingModel(scenario.catalog, d_reuse_km=1.0)
+        ug = scenario.user_groups[0]
+        advertised = frozenset(scenario.catalog.ingress_ids(ug))
+        # Pick the farthest compliant ingress as the observed winner.
+        from repro.topology.geo import haversine_km
+
+        winner = max(
+            advertised,
+            key=lambda pid: haversine_km(
+                ug.location, scenario.deployment.peering(pid).pop.location
+            ),
+        )
+        model.observe(ug, advertised, winner)
+        assert winner in model.candidate_ingresses(ug, advertised)
+
+    def test_contradiction_replaced_by_newer_observation(self, scenario, model):
+        ug = scenario.user_groups[0]
+        advertised = frozenset(_compliant_sample(scenario, ug, k=3))
+        first, second = sorted(advertised)[:2]
+        model.observe(ug, advertised, first)
+        model.observe(ug, advertised, second)
+        candidates = model.candidate_ingresses(ug, advertised)
+        assert second in candidates
+        assert first not in candidates
+
+    def test_preferences_scoped_to_advertised_set(self, scenario, model):
+        """A loser is only excluded when its winner is co-advertised."""
+        ug = scenario.user_groups[0]
+        sample = _compliant_sample(scenario, ug, k=4)
+        advertised = frozenset(sample)
+        winner = sample[0]
+        loser = sample[1]
+        model.observe(ug, advertised, winner)
+        without_winner = frozenset(sample[1:])
+        candidates = model.candidate_ingresses(ug, without_winner)
+        assert loser in candidates
+
+    def test_is_excluded_by_preference(self, scenario, model):
+        ug = scenario.user_groups[0]
+        sample = _compliant_sample(scenario, ug, k=3)
+        advertised = frozenset(sample)
+        model.observe(ug, advertised, sample[0])
+        assert model.is_excluded_by_preference(ug, sample[1], advertised)
+        assert not model.is_excluded_by_preference(ug, sample[0], advertised)
+
+    def test_snapshot_preferences(self, scenario, model):
+        ug = scenario.user_groups[0]
+        advertised = frozenset(_compliant_sample(scenario, ug, k=3))
+        model.observe(ug, advertised, sorted(advertised)[0])
+        snapshot = model.snapshot_preferences()
+        assert ug.ug_id in snapshot
+        assert len(snapshot[ug.ug_id]) == model.preference_count(ug)

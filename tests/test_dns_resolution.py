@@ -1,0 +1,135 @@
+"""Full DNS resolution chain and failover-delay distribution."""
+
+import math
+
+import pytest
+
+from repro.dns.resolution import (
+    AuthoritativeServer,
+    CachingResolver,
+    SimulatedClient,
+    failover_delay_distribution,
+    failover_delay_s,
+)
+
+
+class TestAuthoritative:
+    def test_set_and_query(self):
+        auth = AuthoritativeServer(default_ttl_s=60.0)
+        auth.set_record("svc", "10.0.0.1", time_s=5.0)
+        record = auth.query("svc", time_s=10.0)
+        assert record.address == "10.0.0.1"
+        assert record.ttl_s == 60.0
+        assert record.issued_at_s == 10.0
+        assert auth.last_update_s("svc") == 5.0
+
+    def test_update_changes_answer(self):
+        auth = AuthoritativeServer()
+        auth.set_record("svc", "10.0.0.1", time_s=0.0)
+        auth.set_record("svc", "10.0.0.2", time_s=30.0)
+        assert auth.query("svc", time_s=31.0).address == "10.0.0.2"
+
+    def test_unknown_hostname(self):
+        with pytest.raises(KeyError):
+            AuthoritativeServer().query("ghost", time_s=0.0)
+
+    def test_bad_ttl(self):
+        with pytest.raises(ValueError):
+            AuthoritativeServer(default_ttl_s=0.0)
+
+
+class TestCachingResolver:
+    def test_cache_hit_within_ttl(self):
+        auth = AuthoritativeServer(default_ttl_s=60.0)
+        auth.set_record("svc", "10.0.0.1", time_s=0.0)
+        resolver = CachingResolver(auth)
+        resolver.resolve("svc", time_s=0.0)
+        auth.set_record("svc", "10.0.0.2", time_s=1.0)
+        # Still serves the cached answer until TTL expiry.
+        assert resolver.resolve("svc", time_s=30.0).address == "10.0.0.1"
+        assert resolver.resolve("svc", time_s=61.0).address == "10.0.0.2"
+        assert resolver.cache_hits == 1
+        assert resolver.cache_misses == 2
+
+    def test_downstream_ttl_is_remaining_lifetime(self):
+        auth = AuthoritativeServer(default_ttl_s=60.0)
+        auth.set_record("svc", "10.0.0.1", time_s=0.0)
+        resolver = CachingResolver(auth)
+        resolver.resolve("svc", time_s=0.0)
+        later = resolver.resolve("svc", time_s=45.0)
+        assert later.ttl_s == pytest.approx(15.0)
+
+
+class TestClient:
+    def _setup(self, respect_ttl=True, extra=0.0):
+        auth = AuthoritativeServer(default_ttl_s=60.0)
+        auth.set_record("svc", "10.0.0.1", time_s=0.0)
+        resolver = CachingResolver(auth)
+        client = SimulatedClient(
+            resolver=resolver, respect_ttl=respect_ttl, violation_extra_s=extra
+        )
+        return auth, client
+
+    def test_respecting_client_refreshes_after_ttl(self):
+        auth, client = self._setup(respect_ttl=True)
+        assert client.lookup("svc", 0.0) == "10.0.0.1"
+        auth.set_record("svc", "10.0.0.2", time_s=10.0)
+        assert client.lookup("svc", 30.0) == "10.0.0.1"  # cached
+        assert client.lookup("svc", 61.0) == "10.0.0.2"  # refreshed
+
+    def test_violating_client_keeps_stale_address(self):
+        auth, client = self._setup(respect_ttl=False, extra=300.0)
+        client.lookup("svc", 0.0)
+        auth.set_record("svc", "10.0.0.2", time_s=10.0)
+        # Way past TTL, still the stale address (the §2.2 behavior).
+        assert client.lookup("svc", 200.0) == "10.0.0.1"
+        assert client.lookup("svc", 60.0 + 300.0 + 1.0) == "10.0.0.2"
+
+
+class TestFailoverDelay:
+    def test_respecting_client_bounded_by_ttl(self):
+        auth = AuthoritativeServer(default_ttl_s=60.0)
+        auth.set_record("svc.example", "old", time_s=0.0)
+        client = SimulatedClient(resolver=CachingResolver(auth))
+        delay = failover_delay_s(
+            client, auth, "svc.example",
+            lookup_time_s=10.0, failure_time_s=30.0, new_address="new",
+        )
+        # Looked up at t=10 with TTL 60 -> client cache expires at 70; the
+        # resolver cached at 10 too, so the worst case is bounded by TTL.
+        assert 0.0 <= delay <= 60.0 + 1.0
+
+    def test_violating_client_much_slower(self):
+        auth = AuthoritativeServer(default_ttl_s=60.0)
+        auth.set_record("svc.example", "old", time_s=0.0)
+        honest = SimulatedClient(resolver=CachingResolver(auth))
+        honest_delay = failover_delay_s(
+            honest, auth, "svc.example", 10.0, 30.0, "new"
+        )
+        auth2 = AuthoritativeServer(default_ttl_s=60.0)
+        auth2.set_record("svc.example", "old", time_s=0.0)
+        violator = SimulatedClient(
+            resolver=CachingResolver(auth2), respect_ttl=False, violation_extra_s=600.0
+        )
+        violator_delay = failover_delay_s(
+            violator, auth2, "svc.example", 10.0, 30.0, "new",
+            horizon_s=2000.0,
+        )
+        assert violator_delay > honest_delay
+
+    def test_distribution_shape(self):
+        delays = failover_delay_distribution(
+            ttl_s=60.0, n_clients=100, violator_fraction=0.3, seed=1
+        )
+        assert len(delays) == 100
+        assert all(not math.isinf(d) for d in delays)
+        honest_like = [d for d in delays if d <= 61.0]
+        slow = [d for d in delays if d > 61.0]
+        # Most clients fail over within a TTL; the violating tail takes far
+        # longer — the reason Fig. 10's DNS band is minutes wide.
+        assert len(honest_like) > len(slow)
+        assert slow and max(slow) > 300.0
+
+    def test_distribution_validation(self):
+        with pytest.raises(ValueError):
+            failover_delay_distribution(violator_fraction=1.5)

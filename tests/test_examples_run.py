@@ -1,0 +1,55 @@
+"""Every example script runs to completion (slow; sized by the examples).
+
+Examples are part of the public deliverable; a refactor that breaks one
+should fail CI, not a user.  Heavy examples get generous timeouts.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+#: Scripts that run the orchestrator at prototype scale.
+SLOW = {
+    "advertisement_strategies.py",
+    "anycast_catchments.py",
+    "budget_planning.py",
+    "full_deployment.py",
+    "learning_dynamics.py",
+    "quickstart.py",
+    "virtual_wan.py",
+}
+
+
+def test_every_example_is_listed():
+    assert len(EXAMPLES) >= 10
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", [n for n in EXAMPLES if n not in SLOW])
+def test_fast_examples_run(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+@pytest.mark.parametrize("name", sorted(SLOW))
+@pytest.mark.slow
+def test_slow_examples_run(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()

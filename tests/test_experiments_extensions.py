@@ -1,0 +1,93 @@
+"""Extension experiments: congestion spreading and multipath failover."""
+
+import pytest
+
+from repro.experiments.extensions import run_ext_congestion, run_ext_multipath
+
+
+@pytest.fixture(scope="module")
+def world():
+    from repro.scenario import tiny_scenario
+
+    return tiny_scenario(seed=3)
+
+
+class TestCongestion:
+    def test_spread_delivers_past_single_path_saturation(self, world):
+        result = run_ext_congestion(
+            scenario=world, capacity_per_destination=100.0, demand_levels=(50, 200, 400)
+        )
+        rows = {row[0]: row[1:] for row in result.rows}
+        # Past single-path capacity, single delivery collapses while the
+        # spread keeps delivering everything.
+        assert rows[200][1] == pytest.approx(0.5)
+        assert rows[200][3] == pytest.approx(1.0)
+        assert rows[400][1] == pytest.approx(0.25)
+        assert rows[400][3] == pytest.approx(1.0)
+
+    def test_single_path_saturates(self, world):
+        result = run_ext_congestion(
+            scenario=world, capacity_per_destination=100.0, demand_levels=(200,)
+        )
+        row = result.rows[0]
+        assert row[1] == -1.0  # saturated marker
+
+    def test_spread_latency_grows_with_demand(self, world):
+        result = run_ext_congestion(
+            scenario=world, capacity_per_destination=100.0, demand_levels=(50, 400)
+        )
+        low = result.rows[0][3]
+        high = result.rows[1][3]
+        assert high > low > 0
+
+
+class TestMultipath:
+    def test_delivery_maintained_through_failure(self, world):
+        result = run_ext_multipath(scenario=world, demand_mbps=60.0)
+        for row in result.rows:
+            assert row[3] >= 0.99  # surviving subflows carry the demand
+
+    def test_outages_bounded_by_subflow_rtts(self, world):
+        result = run_ext_multipath(scenario=world)
+        for row in result.rows:
+            assert 0 < row[1] < 1000.0
+            assert row[2] > 0
+
+
+class TestIpv6Experiment:
+    def test_table_shape(self, world):
+        from repro.experiments.extensions import run_ext_ipv6
+
+        result = run_ext_ipv6(scenario=world)
+        assert len(result.rows) == 3
+        exposable = result.column("exposable_path_frac")
+        # More v6 peering exposes more paths; full dual-stack exposes all.
+        assert exposable == sorted(exposable)
+        assert exposable[-1] == pytest.approx(1.0)
+        assert all(f == 8.0 for f in result.column("fib_cost_factor"))
+
+
+class TestEgressExperiment:
+    def test_combinations_ordered(self, world):
+        from repro.experiments.extensions import run_ext_egress
+
+        result = run_ext_egress(scenario=world)
+        rows = {row[0]: row[1] for row in result.rows}
+        assert rows["both"] <= rows["painter_only"] + 1e-9
+        assert rows["both"] <= rows["egress_only"] + 1e-9
+        assert rows["painter_only"] <= rows["neither"] + 1e-9
+        gains = {row[0]: row[2] for row in result.rows}
+        assert gains["both"] >= max(gains["painter_only"], gains["egress_only"]) - 1e-9
+
+
+class TestFailoverSweep:
+    def test_painter_scales_with_rtt_others_do_not(self):
+        from repro.experiments.extensions import run_ext_failover_sweep
+
+        result = run_ext_failover_sweep(rtt_scale_ms=(10.0, 40.0))
+        painter = result.column("painter_downtime_ms")
+        dns = result.column("dns_downtime_s")
+        assert painter[1] > painter[0]  # detection is RTT-proportional
+        assert dns[0] == dns[1]  # TTL-bound regardless of RTT
+        for p_ms, loss_ms in zip(painter, result.column("anycast_loss_ms")):
+            assert p_ms < loss_ms  # PAINTER beats anycast at every RTT

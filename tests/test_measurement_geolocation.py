@@ -1,0 +1,116 @@
+"""Geolocation targets: availability, coverage monotonicity, error scaling."""
+
+import pytest
+
+from repro.measurement.geolocation import GeolocationCatalog, GeolocationConfig
+
+
+class TestConfigValidation:
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            GeolocationConfig(interface_target_prob=2.0)
+
+    def test_bad_mean(self):
+        with pytest.raises(ValueError):
+            GeolocationConfig(crawled_uncertainty_mean_km=0)
+
+
+class TestTargets:
+    def test_target_deterministic(self, scenario):
+        catalog = GeolocationCatalog(GeolocationConfig(seed=5))
+        peering = scenario.deployment.peerings[0]
+        first = catalog.target_for(peering)
+        second = catalog.target_for(peering)
+        assert first == second
+
+    def test_fresh_catalog_same_seed_same_targets(self, scenario):
+        a = GeolocationCatalog(GeolocationConfig(seed=5))
+        b = GeolocationCatalog(GeolocationConfig(seed=5))
+        for peering in scenario.deployment.peerings:
+            assert a.target_for(peering) == b.target_for(peering)
+
+    def test_mixture_of_target_kinds(self, small_scenario):
+        catalog = GeolocationCatalog(GeolocationConfig(seed=1))
+        kinds = set()
+        for peering in small_scenario.deployment.peerings:
+            target = catalog.target_for(peering)
+            kinds.add(None if target is None else target.source)
+        assert "interface" in kinds
+        assert "crawled" in kinds
+        assert None in kinds  # some peerings have no findable target
+
+    def test_coverage_monotone_in_uncertainty(self, small_scenario):
+        catalog = GeolocationCatalog(GeolocationConfig(seed=1))
+        peerings = small_scenario.deployment.peerings
+
+        def coverage(gp):
+            return sum(1 for p in peerings if catalog.has_target_within(p, gp))
+
+        values = [coverage(gp) for gp in (50, 150, 300, 600, 1200)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+
+class TestEstimates:
+    def test_estimate_none_without_target(self, small_scenario):
+        catalog = GeolocationCatalog(GeolocationConfig(seed=1))
+        model = small_scenario.latency_model
+        ug = small_scenario.user_groups[0]
+        found_none = False
+        for peering in small_scenario.deployment.peerings:
+            if catalog.target_for(peering) is None:
+                assert catalog.estimate_latency_ms(ug, peering, model, 10_000) is None
+                found_none = True
+        assert found_none
+
+    def test_estimate_close_to_truth_for_precise_targets(self, small_scenario):
+        catalog = GeolocationCatalog(GeolocationConfig(seed=1))
+        model = small_scenario.latency_model
+        errors = []
+        for ug in small_scenario.user_groups[:30]:
+            for peering in small_scenario.deployment.peerings[:20]:
+                target = catalog.target_for(peering)
+                if target is None or target.uncertainty_km > 80:
+                    continue
+                error = catalog.estimate_error_ms(ug, peering, model, 80)
+                errors.append(error)
+        assert errors
+        assert sorted(errors)[len(errors) // 2] < 5.0  # median small
+
+    def test_error_grows_with_uncertainty(self, small_scenario):
+        catalog = GeolocationCatalog(GeolocationConfig(seed=1))
+        model = small_scenario.latency_model
+
+        def median_error(lo, hi):
+            errors = []
+            for ug in small_scenario.user_groups[:40]:
+                for peering in small_scenario.deployment.peerings:
+                    target = catalog.target_for(peering)
+                    if target is None or not (lo <= target.uncertainty_km < hi):
+                        continue
+                    errors.append(catalog.estimate_error_ms(ug, peering, model, hi))
+            errors.sort()
+            return errors[len(errors) // 2] if errors else None
+
+        precise = median_error(0, 100)
+        loose = median_error(300, 10_000)
+        assert precise is not None and loose is not None
+        assert loose > precise
+
+    def test_estimate_deterministic(self, small_scenario):
+        catalog = GeolocationCatalog(GeolocationConfig(seed=1))
+        model = small_scenario.latency_model
+        ug = small_scenario.user_groups[0]
+        for peering in small_scenario.deployment.peerings[:10]:
+            a = catalog.estimate_latency_ms(ug, peering, model, 10_000)
+            b = catalog.estimate_latency_ms(ug, peering, model, 10_000)
+            assert a == b
+
+    def test_estimate_positive(self, small_scenario):
+        catalog = GeolocationCatalog(GeolocationConfig(seed=1))
+        model = small_scenario.latency_model
+        for ug in small_scenario.user_groups[:20]:
+            for peering in small_scenario.deployment.peerings[:20]:
+                estimate = catalog.estimate_latency_ms(ug, peering, model, 10_000)
+                if estimate is not None:
+                    assert estimate > 0

@@ -1,0 +1,90 @@
+"""Traceroute synthesis and the §3.1 policy-compliance validation."""
+
+import pytest
+
+from repro.measurement.traceroute import (
+    Traceroute,
+    TracerouteConfig,
+    TracerouteHop,
+    synthesize_traceroute,
+    validate_policy_compliance,
+)
+
+
+class TestTracerouteStructure:
+    def test_hops_monotone_rtt(self, scenario):
+        trace = synthesize_traceroute(scenario, scenario.user_groups[0])
+        rtts = [hop.rtt_ms for hop in trace.hops]
+        assert rtts == sorted(rtts)
+        assert rtts[0] > 0
+
+    def test_clean_trace_follows_as_path(self, scenario):
+        clean = TracerouteConfig(seed=1, unresponsive_prob=0.0, misattribution_prob=0.0)
+        ug = scenario.user_groups[0]
+        trace = synthesize_traceroute(scenario, ug, clean)
+        expected = (ug.asn,) + tuple(scenario.routing.default_as_path(ug))
+        assert trace.responded_asns == expected
+
+    def test_entry_asn_matches_ground_truth(self, scenario):
+        clean = TracerouteConfig(seed=1, unresponsive_prob=0.0, misattribution_prob=0.0)
+        for ug in scenario.user_groups[:15]:
+            trace = synthesize_traceroute(scenario, ug, clean)
+            ingress = scenario.routing.anycast_ingress(ug)
+            entry = trace.entry_asn
+            if entry == ug.asn:
+                continue  # direct peering: UG's own AS is the entry
+            assert entry == ingress.peer_asn
+
+    def test_unresponsive_hops_present(self, scenario):
+        lossy = TracerouteConfig(seed=2, unresponsive_prob=0.9)
+        trace = synthesize_traceroute(scenario, scenario.user_groups[0], lossy)
+        assert any(hop.asn is None for hop in trace.hops)
+
+    def test_deterministic(self, scenario):
+        cfg = TracerouteConfig(seed=3)
+        a = synthesize_traceroute(scenario, scenario.user_groups[1], cfg)
+        b = synthesize_traceroute(scenario, scenario.user_groups[1], cfg)
+        assert a == b
+
+    def test_dedup_consecutive_asns(self):
+        trace = Traceroute(
+            ug_id=0,
+            hops=(
+                TracerouteHop(asn=5, rtt_ms=1.0),
+                TracerouteHop(asn=5, rtt_ms=2.0),
+                TracerouteHop(asn=None, rtt_ms=3.0),
+                TracerouteHop(asn=7, rtt_ms=4.0),
+            ),
+        )
+        assert trace.responded_asns == (5, 7)
+
+    def test_empty_trace_has_no_entry(self):
+        assert Traceroute(ug_id=0, hops=()).entry_asn is None
+
+
+class TestValidation:
+    def test_clean_traces_never_violate(self, scenario):
+        clean = TracerouteConfig(seed=1, unresponsive_prob=0.0, misattribution_prob=0.0)
+        report = validate_policy_compliance(scenario, clean)
+        assert report.violations == 0
+        assert report.total == len(scenario.user_groups)
+
+    def test_misattribution_produces_small_violation_rate(self, small_scenario):
+        """With ~4% hop misattribution the apparent violation rate is a few
+        percent — the paper's observed 4%."""
+        config = TracerouteConfig(seed=5, misattribution_prob=0.04)
+        report = validate_policy_compliance(small_scenario, config)
+        assert 0.0 <= report.violation_rate <= 0.25
+        heavy = TracerouteConfig(seed=5, misattribution_prob=0.5)
+        heavy_report = validate_policy_compliance(small_scenario, heavy)
+        assert heavy_report.violation_rate > report.violation_rate
+
+    def test_report_accounting(self, scenario):
+        report = validate_policy_compliance(scenario)
+        assert report.total == len(scenario.user_groups)
+        assert 0 <= report.violations <= report.total - report.unresolvable
+
+    def test_subset_of_ugs(self, scenario):
+        subset = scenario.user_groups[:5]
+        report = validate_policy_compliance(scenario, ugs=subset)
+        assert report.total == 5

@@ -1,0 +1,95 @@
+"""Discrete-event engine: ordering, cancellation, bounds."""
+
+import pytest
+
+from repro.simulation.events import EventLoop
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule_at(2.0, lambda lp: order.append("b"))
+        loop.schedule_at(1.0, lambda lp: order.append("a"))
+        loop.schedule_at(3.0, lambda lp: order.append("c"))
+        loop.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_for_equal_times(self):
+        loop = EventLoop()
+        order = []
+        for tag in ("first", "second", "third"):
+            loop.schedule_at(1.0, lambda lp, t=tag: order.append(t))
+        loop.run_all()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(5.0, lambda lp: seen.append(lp.now_s))
+        loop.run_all()
+        assert seen == [5.0]
+        assert loop.now_s == 5.0
+
+    def test_schedule_in_relative(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(2.0, lambda lp: lp.schedule_in(3.0, lambda l2: seen.append(l2.now_s)))
+        loop.run_all()
+        assert seen == [5.0]
+
+    def test_scheduling_in_past_rejected(self):
+        loop = EventLoop()
+        loop.schedule_at(5.0, lambda lp: None)
+        loop.run_all()
+        with pytest.raises(ValueError):
+            loop.schedule_at(1.0, lambda lp: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule_in(-1.0, lambda lp: None)
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        loop = EventLoop()
+        ran = []
+        loop.schedule_at(1.0, lambda lp: ran.append(1))
+        loop.schedule_at(10.0, lambda lp: ran.append(10))
+        loop.run_until(5.0)
+        assert ran == [1]
+        assert loop.now_s == 5.0
+        assert loop.pending_events == 1
+        loop.run_until(20.0)
+        assert ran == [1, 10]
+
+    def test_boundary_inclusive(self):
+        loop = EventLoop()
+        ran = []
+        loop.schedule_at(5.0, lambda lp: ran.append(5))
+        loop.run_until(5.0)
+        assert ran == [5]
+
+
+class TestCancel:
+    def test_cancelled_event_skipped(self):
+        loop = EventLoop()
+        ran = []
+        event = loop.schedule_at(1.0, lambda lp: ran.append("cancelled"))
+        loop.schedule_at(2.0, lambda lp: ran.append("kept"))
+        loop.cancel(event)
+        loop.run_all()
+        assert ran == ["kept"]
+        assert loop.processed_events == 1
+
+
+class TestSafety:
+    def test_runaway_schedule_detected(self):
+        loop = EventLoop()
+
+        def reschedule(lp):
+            lp.schedule_in(0.1, reschedule)
+
+        loop.schedule_at(0.0, reschedule)
+        with pytest.raises(RuntimeError):
+            loop.run_all(max_events=100)

@@ -1,0 +1,127 @@
+"""Failover simulation: the Fig. 10 timescale separation."""
+
+import math
+
+import pytest
+
+from repro.bgp.convergence import ConvergenceConfig
+from repro.traffic_manager.failover import (
+    FailoverConfig,
+    PathSpec,
+    default_fig10_paths,
+    run_failover,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_failover(default_fig10_paths())
+
+
+class TestPathSpec:
+    def test_anycast_needs_backup(self):
+        with pytest.raises(ValueError):
+            PathSpec(prefix="1.1.1.0/24", pop_name="pop-a", base_rtt_ms=20.0, is_anycast=True)
+
+    def test_positive_rtt(self):
+        with pytest.raises(ValueError):
+            PathSpec(prefix="2.2.2.0/24", pop_name="pop-a", base_rtt_ms=0.0)
+
+
+class TestSetupValidation:
+    def test_needs_paths(self):
+        with pytest.raises(ValueError):
+            run_failover([])
+
+    def test_failed_pop_must_be_used(self):
+        paths = [PathSpec(prefix="3.3.3.0/24", pop_name="pop-b", base_rtt_ms=30.0)]
+        with pytest.raises(ValueError):
+            run_failover(paths, FailoverConfig(failed_pop="pop-a"))
+
+
+class TestTimescales:
+    def test_selects_lowest_latency_before_failure(self, result):
+        assert result.active_prefix_at(59.0) == "2.2.2.0/24"
+
+    def test_switches_to_next_best_unicast(self, result):
+        assert result.active_prefix_at(70.0) == "3.3.3.0/24"
+
+    def test_painter_downtime_rtt_scale(self, result):
+        """Detection + switch within tens of ms (paper: ~30 ms, 1.3 RTT)."""
+        assert result.detection_time_s is not None
+        detection_ms = (result.detection_time_s - result.config.failure_time_s) * 1000
+        assert detection_ms <= 2.0 * 20.0 + result.config.packet_interval_ms
+        assert result.painter_downtime_ms < 100.0
+
+    def test_anycast_loss_second_scale(self, result):
+        assert 0.3 <= result.anycast_loss_s <= 3.0
+
+    def test_anycast_reconvergence_tens_of_seconds(self, result):
+        assert 5.0 <= result.anycast_reconvergence_s <= 30.0
+
+    def test_dns_downtime_minute_scale(self, result):
+        assert result.dns_downtime_s == 60.0
+
+    def test_ordering_painter_anycast_dns(self, result):
+        assert (
+            result.painter_downtime_ms / 1000.0
+            < result.anycast_loss_s
+            < result.dns_downtime_s
+        )
+
+
+class TestSeries:
+    def test_timeline_times_monotone(self, result):
+        times = [t for t, _p, _r in result.timeline]
+        assert times == sorted(times)
+
+    def test_latency_series_shapes(self, result):
+        series = result.path_latency_series(step_s=1.0)
+        assert set(series) == {p.prefix for p in result.paths}
+        # The failed unicast prefix is unreachable after the failure.
+        dead = series["2.2.2.0/24"]
+        assert all(math.isinf(rtt) for t, rtt in dead if t > 60.0)
+        assert all(not math.isinf(rtt) for t, rtt in dead if t < 60.0)
+
+    def test_anycast_transient_inflation(self, result):
+        series = dict(result.path_latency_series(step_s=0.5)["1.1.1.0/24"])
+        post_loss = [
+            rtt
+            for t, rtt in series.items()
+            if result.config.failure_time_s + 2 < t < result.config.failure_time_s + 8
+            and not math.isinf(rtt)
+        ]
+        final = series[max(series)]
+        assert post_loss, "anycast should be back up within seconds"
+        assert max(post_loss) > final  # transient inflation fades
+
+    def test_bgp_updates_spike_at_failure(self, result):
+        series = dict(result.bgp_update_series(bin_s=1.0))
+        before = sum(count for t, count in series.items() if t < 59)
+        after = sum(count for t, count in series.items() if 59 <= t <= 80)
+        assert before == 0
+        assert after > 10
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        a = run_failover(default_fig10_paths(), FailoverConfig(seed=3))
+        b = run_failover(default_fig10_paths(), FailoverConfig(seed=3))
+        assert a.painter_downtime_ms == b.painter_downtime_ms
+        assert a.anycast_loss_s == b.anycast_loss_s
+
+    def test_convergence_config_respected(self):
+        slow = FailoverConfig(
+            convergence=ConvergenceConfig(reachability_gap_s=2.5), seed=1
+        )
+        result = run_failover(default_fig10_paths(), slow)
+        assert result.anycast_loss_s >= 1.8
+
+
+class TestLogging:
+    def test_failure_detection_logged(self, caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro.traffic_manager.failover"):
+            run_failover(default_fig10_paths())
+        assert any("declared down" in record.message for record in caplog.records)

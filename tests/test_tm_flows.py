@@ -1,0 +1,68 @@
+"""Flow table: 5-tuples, immutable mappings."""
+
+import pytest
+
+from repro.traffic_manager.flows import FiveTuple, FlowTable
+
+
+def ft(port=1234, dst="10.0.0.1"):
+    return FiveTuple(proto="tcp", src_ip="192.168.1.2", src_port=port, dst_ip=dst, dst_port=443)
+
+
+class TestFiveTuple:
+    def test_bad_protocol(self):
+        with pytest.raises(ValueError):
+            FiveTuple(proto="icmp", src_ip="1.1.1.1", src_port=1, dst_ip="2.2.2.2", dst_port=2)
+
+    @pytest.mark.parametrize("port", [0, -1, 70000])
+    def test_bad_port(self, port):
+        with pytest.raises(ValueError):
+            FiveTuple(proto="tcp", src_ip="1.1.1.1", src_port=port, dst_ip="2.2.2.2", dst_port=443)
+
+    def test_hashable_identity(self):
+        assert ft() == ft()
+        assert hash(ft()) == hash(ft())
+        assert ft(port=1) != ft(port=2)
+
+
+class TestFlowTable:
+    def test_map_and_lookup(self):
+        table = FlowTable()
+        entry = table.map_flow(ft(), "184.164.224.0/24", now_s=1.0)
+        assert table.lookup(ft()) is entry
+        assert ft() in table
+        assert len(table) == 1
+
+    def test_mapping_immutable(self):
+        table = FlowTable()
+        table.map_flow(ft(), "184.164.224.0/24", now_s=1.0)
+        with pytest.raises(ValueError):
+            table.map_flow(ft(), "184.164.225.0/24", now_s=2.0)
+
+    def test_end_flow(self):
+        table = FlowTable()
+        table.map_flow(ft(), "184.164.224.0/24", now_s=1.0)
+        entry = table.end_flow(ft())
+        assert entry.destination_prefix == "184.164.224.0/24"
+        assert ft() not in table
+
+    def test_end_unknown_flow_raises(self):
+        with pytest.raises(KeyError):
+            FlowTable().end_flow(ft())
+
+    def test_byte_accounting(self):
+        table = FlowTable()
+        entry = table.map_flow(ft(), "184.164.224.0/24", now_s=1.0)
+        entry.record_bytes(100)
+        entry.record_bytes(250)
+        assert entry.bytes_sent == 350
+        with pytest.raises(ValueError):
+            entry.record_bytes(-1)
+
+    def test_flows_to_and_destinations(self):
+        table = FlowTable()
+        table.map_flow(ft(port=1), "a/24", now_s=0.0)
+        table.map_flow(ft(port=2), "a/24", now_s=0.0)
+        table.map_flow(ft(port=3), "b/24", now_s=0.0)
+        assert len(table.flows_to("a/24")) == 2
+        assert table.destinations() == {"a/24": 2, "b/24": 1}

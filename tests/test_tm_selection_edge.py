@@ -1,0 +1,183 @@
+"""Destination selection (hysteresis) and TM-Edge/TM-PoP behavior."""
+
+import math
+
+import pytest
+
+from repro.topology.geo import metro_by_name
+from repro.traffic_manager.flows import FiveTuple
+from repro.traffic_manager.selection import LowestLatencySelector, SelectionPolicyConfig
+from repro.traffic_manager.tm_edge import TMEdge
+from repro.traffic_manager.tm_pop import PrefixDirectory, TMPoP
+from repro.traffic_manager.tunnel import TMPoPNat
+from repro.topology.cloud import PoP
+
+
+class TestSelector:
+    def test_first_update_selects_best(self):
+        selector = LowestLatencySelector()
+        assert selector.update({"a": 30.0, "b": 20.0}) == "b"
+
+    def test_hysteresis_resists_small_improvements(self):
+        selector = LowestLatencySelector(SelectionPolicyConfig(switch_threshold=0.10))
+        selector.update({"a": 20.0, "b": 30.0})
+        for _ in range(10):
+            assert selector.update({"a": 20.0, "b": 19.5}) == "a"
+
+    def test_switch_after_stable_rounds(self):
+        selector = LowestLatencySelector(
+            SelectionPolicyConfig(switch_threshold=0.05, stability_rounds=3)
+        )
+        selector.update({"a": 20.0, "b": 30.0})
+        assert selector.update({"a": 20.0, "b": 10.0}) == "a"
+        assert selector.update({"a": 20.0, "b": 10.0}) == "a"
+        assert selector.update({"a": 20.0, "b": 10.0}) == "b"
+        assert selector.switch_count == 1
+
+    def test_challenger_streak_resets(self):
+        selector = LowestLatencySelector(
+            SelectionPolicyConfig(switch_threshold=0.05, stability_rounds=3)
+        )
+        selector.update({"a": 20.0, "b": 30.0})
+        selector.update({"a": 20.0, "b": 10.0})
+        selector.update({"a": 20.0, "b": 21.0})  # streak broken
+        selector.update({"a": 20.0, "b": 10.0})
+        assert selector.update({"a": 20.0, "b": 10.0}) == "a"  # only 2 in a row
+
+    def test_dead_destination_switches_immediately(self):
+        selector = LowestLatencySelector(
+            SelectionPolicyConfig(switch_threshold=0.05, stability_rounds=5)
+        )
+        selector.update({"a": 20.0, "b": 30.0})
+        assert selector.update({"a": math.inf, "b": 30.0}) == "b"
+        assert selector.switch_count == 1
+
+    def test_all_dead_returns_none(self):
+        selector = LowestLatencySelector()
+        selector.update({"a": 20.0})
+        assert selector.update({"a": math.inf}) is None
+
+    def test_no_oscillation_between_equals(self):
+        selector = LowestLatencySelector()
+        first = selector.update({"a": 20.0, "b": 20.0})
+        for _ in range(20):
+            assert selector.update({"a": 20.0, "b": 20.0}) == first
+        assert selector.switch_count == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SelectionPolicyConfig(switch_threshold=-0.1)
+        with pytest.raises(ValueError):
+            SelectionPolicyConfig(stability_rounds=0)
+
+
+@pytest.fixture()
+def directory():
+    directory = PrefixDirectory()
+    pop_a = PoP(name="pop-a", metro=metro_by_name("new-york"))
+    pop_b = PoP(name="pop-b", metro=metro_by_name("london"))
+    tm_a = TMPoP(name="tm-a", pop=pop_a, nat=TMPoPNat(["100.64.0.1"]))
+    tm_b = TMPoP(name="tm-b", pop=pop_b, nat=TMPoPNat(["100.64.1.1"]))
+    tm_a.add_service("teams")
+    tm_b.add_service("teams")
+    tm_b.add_service("sql")
+    tm_a.attach_prefix("184.164.224.0/24")
+    tm_a.attach_prefix("184.164.225.0/24")
+    tm_b.attach_prefix("184.164.226.0/24")
+    directory.register(tm_a)
+    directory.register(tm_b)
+    return directory
+
+
+class TestDirectory:
+    def test_duplicate_registration_rejected(self, directory):
+        with pytest.raises(ValueError):
+            directory.register(directory.get("tm-a"))
+
+    def test_prefixes_for_service(self, directory):
+        assert directory.prefixes_for_service("teams") == frozenset(
+            {"184.164.224.0/24", "184.164.225.0/24", "184.164.226.0/24"}
+        )
+        assert directory.prefixes_for_service("sql") == frozenset({"184.164.226.0/24"})
+        assert directory.prefixes_for_service("nothing") == frozenset()
+
+    def test_pop_for_prefix(self, directory):
+        assert directory.pop_for_prefix("184.164.224.0/24").name == "tm-a"
+        assert directory.pop_for_prefix("10.0.0.0/24") is None
+
+    def test_unknown_pop_raises(self, directory):
+        with pytest.raises(KeyError):
+            directory.get("tm-x")
+
+
+class TestTMEdge:
+    def test_resolution_builds_tunnel_map(self, directory):
+        edge = TMEdge(edge_ip="203.0.113.1", directory=directory)
+        prefixes = edge.resolve_service("teams")
+        assert len(prefixes) == 3
+        assert edge.tunnel_map("teams")["184.164.226.0/24"] == "tm-b"
+
+    def test_prefix_withdrawal_drops_tunnel(self, directory):
+        edge = TMEdge(edge_ip="203.0.113.1", directory=directory)
+        edge.resolve_service("teams")
+        directory.get("tm-a").detach_prefix("184.164.224.0/24")
+        prefixes = edge.resolve_service("teams")
+        assert "184.164.224.0/24" not in prefixes
+
+    def test_measurement_drives_selection(self, directory):
+        edge = TMEdge(edge_ip="203.0.113.1", directory=directory)
+        edge.resolve_service("teams")
+        selected = edge.record_measurements(
+            "teams",
+            {"184.164.224.0/24": 20.0, "184.164.225.0/24": 35.0, "184.164.226.0/24": 50.0},
+        )
+        assert selected == "184.164.224.0/24"
+
+    def test_measurement_before_resolution_raises(self, directory):
+        edge = TMEdge(edge_ip="203.0.113.1", directory=directory)
+        with pytest.raises(KeyError):
+            edge.record_measurements("teams", {})
+
+    def test_new_flows_pinned_to_best(self, directory):
+        edge = TMEdge(edge_ip="203.0.113.1", directory=directory)
+        edge.resolve_service("teams")
+        edge.record_measurements("teams", {"184.164.224.0/24": 20.0, "184.164.226.0/24": 40.0})
+        flow = FiveTuple(proto="tcp", src_ip="10.1.1.1", src_port=1111, dst_ip="1.1.1.1", dst_port=443)
+        entry = edge.admit_flow("teams", flow, now_s=0.0)
+        assert entry.destination_prefix == "184.164.224.0/24"
+
+    def test_existing_flow_sticks_after_switch(self, directory):
+        """Flow mappings are immutable even when the selection changes."""
+        edge = TMEdge(edge_ip="203.0.113.1", directory=directory)
+        edge.resolve_service("teams")
+        edge.record_measurements("teams", {"184.164.224.0/24": 20.0, "184.164.226.0/24": 40.0})
+        flow = FiveTuple(proto="tcp", src_ip="10.1.1.1", src_port=1111, dst_ip="1.1.1.1", dst_port=443)
+        edge.admit_flow("teams", flow, now_s=0.0)
+        # The selected tunnel dies; new selection is tm-b's prefix.
+        edge.record_measurements("teams", {"184.164.224.0/24": math.inf, "184.164.226.0/24": 40.0})
+        new_flow = FiveTuple(proto="tcp", src_ip="10.1.1.1", src_port=2222, dst_ip="1.1.1.1", dst_port=443)
+        assert edge.admit_flow("teams", new_flow, now_s=1.0).destination_prefix == "184.164.226.0/24"
+        assert edge.flow_table.lookup(flow).destination_prefix == "184.164.224.0/24"
+
+    def test_forward_encapsulates_toward_pinned_destination(self, directory):
+        from repro.traffic_manager.tunnel import Packet
+
+        edge = TMEdge(edge_ip="203.0.113.1", directory=directory)
+        edge.resolve_service("teams")
+        edge.record_measurements("teams", {"184.164.225.0/24": 12.0})
+        flow = FiveTuple(proto="udp", src_ip="10.1.1.1", src_port=3333, dst_ip="1.1.1.1", dst_port=3478)
+        packet = Packet(
+            src_ip="10.1.1.1", dst_ip="1.1.1.1", src_port=3333, dst_port=3478,
+            proto="udp", payload_bytes=1200,
+        )
+        outer = edge.forward("teams", packet, flow, now_s=0.0)
+        assert outer.is_encapsulated
+        assert outer.dst_ip == "184.164.225.1"
+        assert edge.flow_table.lookup(flow).bytes_sent == 1200
+
+    def test_admit_without_live_destination_raises(self, directory):
+        edge = TMEdge(edge_ip="203.0.113.1", directory=directory)
+        edge.resolve_service("sql")
+        flow = FiveTuple(proto="tcp", src_ip="10.1.1.1", src_port=1111, dst_ip="1.1.1.1", dst_port=1433)
+        with pytest.raises(RuntimeError):
+            edge.admit_flow("sql", flow, now_s=0.0)

@@ -1,0 +1,126 @@
+"""Workload-driven TM-Edge session simulation."""
+
+import math
+
+import pytest
+
+from repro.traffic_manager.session import (
+    EdgeSession,
+    SessionFlow,
+    constant_oracle,
+    failing_oracle,
+)
+
+
+def make_flows(n, start=1.0, spacing=1.0, duration=5.0, size=1000.0):
+    return [
+        SessionFlow(
+            flow_id=i,
+            start_s=start + i * spacing,
+            duration_s=duration,
+            bytes_total=size,
+        )
+        for i in range(n)
+    ]
+
+
+class TestSessionFlow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SessionFlow(flow_id=0, start_s=0, duration_s=0, bytes_total=1)
+        with pytest.raises(ValueError):
+            SessionFlow(flow_id=0, start_s=0, duration_s=1, bytes_total=-1)
+
+
+class TestEdgeSession:
+    def test_all_flows_go_to_best_destination(self):
+        oracle = constant_oracle({"fast": 10.0, "slow": 50.0})
+        session = EdgeSession(["fast", "slow"], oracle, measure_interval_s=0.5)
+        metrics = session.run(make_flows(10), duration_s=30.0)
+        assert metrics.flows_offered == 10
+        assert metrics.flows_steered == 10
+        assert metrics.bytes_by_destination == {"fast": 10_000.0}
+        assert metrics.mean_latency_ms == pytest.approx(10.0)
+        assert metrics.disruption_rate == 0.0
+
+    def test_failure_disrupts_active_flows_and_redirects_new(self):
+        oracle = failing_oracle(
+            {"fast": 10.0, "slow": 50.0}, failures={"fast": 10.0}
+        )
+        session = EdgeSession(["fast", "slow"], oracle, measure_interval_s=0.5)
+        # Long-lived flows starting before and after the failure.
+        flows = make_flows(20, start=1.0, spacing=1.0, duration=100.0)
+        metrics = session.run(flows, duration_s=40.0)
+        assert metrics.flows_disrupted > 0  # pinned flows died with the path
+        assert metrics.bytes_by_destination.get("slow", 0.0) > 0  # new flows moved
+        # A flow arriving in the instant between the failure and the next
+        # measurement tick may find its destination dark (detection delay).
+        assert metrics.flows_steered + metrics.flows_unroutable == 20
+        assert metrics.flows_steered >= 18
+
+    def test_unroutable_when_everything_down(self):
+        oracle = failing_oracle({"only": 10.0}, failures={"only": 0.0})
+        session = EdgeSession(["only"], oracle, measure_interval_s=0.5)
+        metrics = session.run(make_flows(3), duration_s=10.0)
+        assert metrics.flows_unroutable == 3
+        assert metrics.flows_steered == 0
+        assert metrics.disruption_rate == 0.0
+
+    def test_latency_weighted_by_bytes(self):
+        oracle = constant_oracle({"a": 20.0})
+        session = EdgeSession(["a"], oracle)
+        flows = [
+            SessionFlow(flow_id=0, start_s=1.0, duration_s=2.0, bytes_total=100.0),
+            SessionFlow(flow_id=1, start_s=2.0, duration_s=2.0, bytes_total=300.0),
+        ]
+        metrics = session.run(flows, duration_s=10.0)
+        assert metrics.total_bytes == 400.0
+        assert metrics.mean_latency_ms == pytest.approx(20.0)
+
+    def test_flows_beyond_duration_ignored(self):
+        oracle = constant_oracle({"a": 20.0})
+        session = EdgeSession(["a"], oracle)
+        flows = [SessionFlow(flow_id=0, start_s=100.0, duration_s=1.0, bytes_total=1.0)]
+        metrics = session.run(flows, duration_s=10.0)
+        assert metrics.flows_offered == 0
+
+    def test_validation(self):
+        oracle = constant_oracle({"a": 1.0})
+        with pytest.raises(ValueError):
+            EdgeSession([], oracle)
+        with pytest.raises(ValueError):
+            EdgeSession(["a"], oracle, measure_interval_s=0)
+        session = EdgeSession(["a"], oracle)
+        with pytest.raises(ValueError):
+            session.run([], duration_s=0)
+
+    def test_unknown_destination_in_oracle_raises(self):
+        oracle = constant_oracle({"a": 1.0})
+        with pytest.raises(KeyError):
+            oracle("ghost", 0.0)
+
+
+class TestEnterpriseWorkloadIntegration:
+    def test_enterprise_flows_through_session(self):
+        """The Fig. 2 enterprise's workload rides the TM-Edge session."""
+        from repro.enterprise import EnterpriseConfig, build_enterprise, generate_workload
+        from repro.scenario import tiny_scenario
+
+        scenario = tiny_scenario(seed=3)
+        enterprise = build_enterprise(scenario, EnterpriseConfig(seed=1, n_branches=2))
+        workload = generate_workload(enterprise, duration_s=600.0, start_s=0.0, seed=2)
+        flows = [
+            SessionFlow(
+                flow_id=i,
+                start_s=f.start_s,
+                duration_s=f.duration_s,
+                bytes_total=f.bandwidth_mbps * f.duration_s,
+            )
+            for i, f in enumerate(workload)
+        ]
+        oracle = constant_oracle({"anycast": 80.0, "painter-0": 25.0})
+        session = EdgeSession(["anycast", "painter-0"], oracle)
+        metrics = session.run(flows, duration_s=600.0)
+        assert metrics.flows_steered == len(flows)
+        assert metrics.bytes_by_destination.get("painter-0", 0.0) > 0
+        assert metrics.mean_latency_ms == pytest.approx(25.0)

@@ -1,0 +1,212 @@
+"""AS graph: relationships, customer cones, validation, valley-free oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.asn import ASRole, AutonomousSystem, LOCAL_PREFERENCE, Relationship
+from repro.topology.geo import metro_by_name
+from repro.topology.graph import ASGraph, TopologyError, transit_path_exists
+
+
+def _as(asn, role=ASRole.STUB):
+    return AutonomousSystem(asn=asn, role=role, home_metro=metro_by_name("london"))
+
+
+def build_graph(n, provider_edges, peer_edges=()):
+    graph = ASGraph()
+    for asn in range(1, n + 1):
+        graph.add_as(_as(asn))
+    for provider, customer in provider_edges:
+        graph.add_provider_customer(provider, customer)
+    for a, b in peer_edges:
+        graph.add_peering_link(a, b)
+    return graph
+
+
+class TestRelationships:
+    def test_inverse_pairs(self):
+        assert Relationship.CUSTOMER.inverse() is Relationship.PROVIDER
+        assert Relationship.PROVIDER.inverse() is Relationship.CUSTOMER
+        assert Relationship.PEER.inverse() is Relationship.PEER
+
+    def test_local_preference_ordering(self):
+        assert (
+            LOCAL_PREFERENCE[Relationship.CUSTOMER]
+            > LOCAL_PREFERENCE[Relationship.PEER]
+            > LOCAL_PREFERENCE[Relationship.PROVIDER]
+        )
+
+    def test_asn_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(asn=0, role=ASRole.STUB)
+
+    def test_is_transit(self):
+        assert _as(1, ASRole.TIER1).is_transit
+        assert _as(2, ASRole.TRANSIT).is_transit
+        assert not _as(3, ASRole.STUB).is_transit
+
+
+class TestGraphConstruction:
+    def test_provider_customer_symmetric_view(self):
+        graph = build_graph(2, [(1, 2)])
+        assert graph.relationship(1, 2) is Relationship.CUSTOMER
+        assert graph.relationship(2, 1) is Relationship.PROVIDER
+
+    def test_peering_symmetric(self):
+        graph = build_graph(2, [], [(1, 2)])
+        assert graph.relationship(1, 2) is Relationship.PEER
+        assert graph.relationship(2, 1) is Relationship.PEER
+
+    def test_self_link_rejected(self):
+        graph = build_graph(1, [])
+        with pytest.raises(TopologyError):
+            graph.add_peering_link(1, 1)
+
+    def test_unregistered_asn_rejected(self):
+        graph = build_graph(1, [])
+        with pytest.raises(TopologyError):
+            graph.add_provider_customer(1, 99)
+
+    def test_conflicting_relationship_rejected(self):
+        graph = build_graph(2, [(1, 2)])
+        with pytest.raises(TopologyError):
+            graph.add_peering_link(1, 2)
+
+    def test_idempotent_same_relationship(self):
+        graph = build_graph(2, [(1, 2)])
+        graph.add_provider_customer(1, 2)  # no error
+        assert graph.customers(1) == [2]
+
+    def test_duplicate_as_conflict(self):
+        graph = ASGraph()
+        graph.add_as(_as(1, ASRole.STUB))
+        with pytest.raises(TopologyError):
+            graph.add_as(_as(1, ASRole.TIER1))
+
+    def test_lookups(self):
+        graph = build_graph(3, [(1, 2)], [(2, 3)])
+        assert 1 in graph and 99 not in graph
+        assert len(graph) == 3
+        assert set(graph) == {1, 2, 3}
+        assert graph.customers(1) == [2]
+        assert graph.providers(2) == [1]
+        assert graph.peers(2) == [3]
+        assert graph.degree(2) == 2
+        assert graph.edge_count() == 2
+        with pytest.raises(KeyError):
+            graph.get_as(99)
+        with pytest.raises(KeyError):
+            graph.neighbors(99)
+
+
+class TestCustomerCones:
+    def test_cone_includes_self(self):
+        graph = build_graph(2, [(1, 2)])
+        assert 1 in graph.customer_cone(1)
+
+    def test_transitive_cone(self):
+        graph = build_graph(3, [(1, 2), (2, 3)])
+        assert graph.customer_cone(1) == frozenset({1, 2, 3})
+
+    def test_peers_not_in_cone(self):
+        graph = build_graph(3, [(1, 2)], [(1, 3)])
+        assert 3 not in graph.customer_cone(1)
+
+    def test_in_customer_cone(self):
+        graph = build_graph(3, [(1, 2), (2, 3)])
+        assert graph.in_customer_cone(3, of=1)
+        assert not graph.in_customer_cone(1, of=3)
+
+    def test_cone_cache_invalidated_on_mutation(self):
+        graph = build_graph(3, [(1, 2)])
+        assert 3 not in graph.customer_cone(1)
+        graph.add_provider_customer(2, 3)
+        assert 3 in graph.customer_cone(1)
+
+    def test_micro_graph_cones(self, micro_graph):
+        assert micro_graph.customer_cone(10) >= {10, 20, 21, 30, 31, 1}
+        assert micro_graph.customer_cone(22) == frozenset({22, 31, 32})
+
+
+class TestValidation:
+    def test_valid_graph_passes(self, micro_graph):
+        micro_graph.validate()
+
+    def test_provider_cycle_detected(self):
+        graph = build_graph(3, [(1, 2), (2, 3)])
+        # 3 -> 1 closes a customer/provider cycle.
+        graph.add_provider_customer(3, 1)
+        cycle = graph.find_provider_cycle()
+        assert cycle is not None
+        with pytest.raises(TopologyError):
+            graph.validate()
+
+    def test_no_false_cycle_on_dag(self):
+        graph = build_graph(4, [(1, 2), (1, 3), (2, 4), (3, 4)])
+        assert graph.find_provider_cycle() is None
+
+
+class TestValleyFreeOracle:
+    def test_up_down_path(self, micro_graph):
+        # S1 (30) -> P1 (20) -> T1 (10) -> cloud (1).
+        assert transit_path_exists(micro_graph, 30, 1)
+
+    def test_peer_crossing_once(self, micro_graph):
+        # S1 -> P1 -> T1 == T2 -> P3 -> S3 crosses one peer link.
+        assert transit_path_exists(micro_graph, 30, 32)
+
+    def test_self_path(self, micro_graph):
+        assert transit_path_exists(micro_graph, 30, 30)
+
+    def test_unknown_endpoint_raises(self, micro_graph):
+        with pytest.raises(KeyError):
+            transit_path_exists(micro_graph, 30, 12345)
+
+    def test_no_valley_through_shared_customer(self):
+        # 1 -> 3 <- 2: providers 1 and 2 share customer 3.  A path from 1 to
+        # 2 would descend into 3 and climb back out — a valley.
+        graph = build_graph(3, [(1, 3), (2, 3)])
+        assert not transit_path_exists(graph, 1, 2)
+        # The customer itself can climb to either provider.
+        assert transit_path_exists(graph, 3, 1)
+        assert transit_path_exists(graph, 3, 2)
+
+    def test_sibling_stubs_reachable_via_shared_provider(self):
+        graph = build_graph(3, [(1, 2), (1, 3)])
+        assert transit_path_exists(graph, 2, 3)
+
+
+@st.composite
+def random_dag_graph(draw):
+    """A random provider hierarchy (guaranteed acyclic by edge direction)."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    graph = ASGraph()
+    for asn in range(1, n + 1):
+        graph.add_as(_as(asn))
+    n_edges = draw(st.integers(min_value=1, max_value=2 * n))
+    for _ in range(n_edges):
+        a = draw(st.integers(min_value=1, max_value=n - 1))
+        b = draw(st.integers(min_value=a + 1, max_value=n))
+        if graph.relationship(a, b) is None:
+            graph.add_provider_customer(a, b)  # lower ASN is provider: acyclic
+    return graph
+
+
+class TestGraphProperties:
+    @given(random_dag_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_cones_are_consistent(self, graph):
+        graph.validate()  # acyclic by construction
+        for asn in graph:
+            cone = graph.customer_cone(asn)
+            assert asn in cone
+            for customer in graph.customers(asn):
+                assert graph.customer_cone(customer) <= cone
+
+    @given(random_dag_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_customer_reachable_valley_free(self, graph):
+        for asn in graph:
+            for other in graph.customer_cone(asn):
+                # Anything in my cone can climb providers back to me.
+                assert transit_path_exists(graph, other, asn)

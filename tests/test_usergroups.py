@@ -1,0 +1,157 @@
+"""User groups: model, generation, policy-compliant ingresses."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.builder import TopologyConfig, build_topology
+from repro.topology.geo import metro_by_name
+from repro.usergroups.generation import UserGroupConfig, generate_user_groups, total_volume, zipf_weights
+from repro.usergroups.ingresses import IngressCatalog, policy_compliant_peerings
+from repro.usergroups.usergroup import UserGroup
+
+
+class TestUserGroup:
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            UserGroup(ug_id=0, asn=100, metro=metro_by_name("paris"), volume=-1.0)
+
+    def test_key_and_location(self):
+        ug = UserGroup(ug_id=0, asn=100, metro=metro_by_name("paris"), volume=0.5)
+        assert ug.key == (100, "paris")
+        assert ug.location == metro_by_name("paris").location
+
+
+class TestZipf:
+    def test_weights_sum_to_one(self):
+        assert sum(zipf_weights(100, 1.1)) == pytest.approx(1.0)
+
+    def test_weights_decreasing(self):
+        weights = zipf_weights(50, 1.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_heavy_tail(self):
+        weights = zipf_weights(1000, 1.1)
+        assert weights[0] > 0.1 * sum(weights[:100])
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_bad_n_rejected(self, bad):
+        with pytest.raises(ValueError):
+            zipf_weights(bad, 1.0)
+
+    @given(st.integers(min_value=1, max_value=500), st.floats(min_value=0.2, max_value=2.5))
+    @settings(max_examples=30, deadline=None)
+    def test_zipf_always_a_distribution(self, n, exponent):
+        weights = zipf_weights(n, exponent)
+        assert len(weights) == n
+        assert all(w > 0 for w in weights)
+        assert sum(weights) == pytest.approx(1.0)
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return build_topology(
+        TopologyConfig(seed=4, n_pops=8, n_tier1=2, n_transit=5, n_regional=16, n_stub=80)
+    )
+
+
+class TestGeneration:
+    def test_count_and_unique_keys(self, topology):
+        ugs = generate_user_groups(topology, UserGroupConfig(seed=1, n_ugs=100))
+        assert len(ugs) == 100
+        keys = [ug.key for ug in ugs]
+        assert len(keys) == len(set(keys))
+
+    def test_volumes_normalized(self, topology):
+        ugs = generate_user_groups(topology, UserGroupConfig(seed=1, n_ugs=100))
+        assert total_volume(ugs) == pytest.approx(1.0)
+
+    def test_deterministic(self, topology):
+        cfg = UserGroupConfig(seed=6, n_ugs=50)
+        a = generate_user_groups(topology, cfg)
+        b = generate_user_groups(topology, cfg)
+        assert [(ug.key, ug.volume) for ug in a] == [(ug.key, ug.volume) for ug in b]
+
+    def test_asns_are_edge_ases(self, topology):
+        ugs = generate_user_groups(topology, UserGroupConfig(seed=1, n_ugs=60))
+        edge = set(topology.edge_asns())
+        assert all(ug.asn in edge for ug in ugs)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            UserGroupConfig(n_ugs=0)
+        with pytest.raises(ValueError):
+            UserGroupConfig(zipf_exponent=0)
+
+
+class TestPolicyCompliance:
+    def test_transit_always_compliant(self, topology):
+        ugs = generate_user_groups(topology, UserGroupConfig(seed=2, n_ugs=40))
+        transit_ids = {p.peering_id for p in topology.deployment.transit_peerings()}
+        for ug in ugs:
+            compliant = {p.peering_id for p in policy_compliant_peerings(ug, topology)}
+            assert transit_ids <= compliant
+
+    def test_direct_peering_compliant(self, topology):
+        deployment = topology.deployment
+        direct_asns = [
+            asn for asn in deployment.peer_asns() if asn in set(topology.edge_asns())
+        ]
+        if not direct_asns:
+            pytest.skip("no edge AS peers directly in this seed")
+        asn = direct_asns[0]
+        ug = UserGroup(ug_id=0, asn=asn, metro=metro_by_name("paris"), volume=0.1)
+        compliant = {p.peering_id for p in policy_compliant_peerings(ug, topology)}
+        for peering in deployment.peerings_with(asn):
+            assert peering.peering_id in compliant
+
+    def test_cone_rule(self, topology):
+        """Non-transit peerings are compliant iff the UG is in the cone."""
+        ugs = generate_user_groups(topology, UserGroupConfig(seed=2, n_ugs=40))
+        graph = topology.graph
+        for ug in ugs[:15]:
+            compliant = {p.peering_id for p in policy_compliant_peerings(ug, topology)}
+            for peering in topology.deployment.peerings:
+                if peering.is_transit or peering.peer_asn == ug.asn:
+                    continue
+                expected = graph.in_customer_cone(ug.asn, of=peering.peer_asn)
+                assert (peering.peering_id in compliant) == expected
+
+
+class TestIngressCatalog:
+    def test_matches_direct_computation(self, topology):
+        ugs = generate_user_groups(topology, UserGroupConfig(seed=2, n_ugs=30))
+        catalog = IngressCatalog(topology, ugs)
+        for ug in ugs:
+            direct = {p.peering_id for p in policy_compliant_peerings(ug, topology)}
+            assert catalog.ingress_ids(ug) == direct
+
+    def test_compliant_subset(self, topology):
+        ugs = generate_user_groups(topology, UserGroupConfig(seed=2, n_ugs=10))
+        catalog = IngressCatalog(topology, ugs)
+        ug = ugs[0]
+        all_ids = catalog.ingress_ids(ug)
+        some = list(all_ids)[:3] + [10_000]
+        subset = catalog.compliant_subset(ug, some)
+        assert subset == frozenset(list(all_ids)[:3])
+
+    def test_unknown_ug_raises(self, topology):
+        ugs = generate_user_groups(topology, UserGroupConfig(seed=2, n_ugs=10))
+        catalog = IngressCatalog(topology, ugs)
+        stranger = UserGroup(ug_id=999, asn=ugs[0].asn, metro=ugs[0].metro, volume=0.0)
+        with pytest.raises(KeyError):
+            catalog.ingress_ids(stranger)
+
+    def test_coverage_stats(self, topology):
+        ugs = generate_user_groups(topology, UserGroupConfig(seed=2, n_ugs=30))
+        catalog = IngressCatalog(topology, ugs)
+        stats = catalog.coverage_stats()
+        assert 0 < stats["min"] <= stats["mean"] <= stats["max"]
+
+    def test_is_compliant(self, topology):
+        ugs = generate_user_groups(topology, UserGroupConfig(seed=2, n_ugs=10))
+        catalog = IngressCatalog(topology, ugs)
+        ug = ugs[0]
+        for peering in topology.deployment.peerings:
+            assert catalog.is_compliant(ug, peering) == (
+                peering.peering_id in catalog.ingress_ids(ug)
+            )
