@@ -25,6 +25,7 @@ from repro.core import (
     realized_benefit,
 )
 from repro.audit import audit_scenario
+from repro.faults import FaultInjector, FaultSchedule, ObservationFaults
 from repro.scenario import (
     Scenario,
     azure_scenario,
@@ -39,7 +40,10 @@ __all__ = [
     "AdvertisementConfig",
     "audit_scenario",
     "BenefitEvaluator",
+    "FaultInjector",
+    "FaultSchedule",
     "LearningResult",
+    "ObservationFaults",
     "PainterOrchestrator",
     "RoutingModel",
     "Scenario",

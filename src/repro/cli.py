@@ -6,6 +6,7 @@ Commands:
 * ``solve``    — run the Advertisement Orchestrator and print (or save) the
   configuration;
 * ``failover`` — run the Fig. 10 failover simulation;
+* ``chaos``    — run seeded random fault storms against every steering strategy;
 * ``validate`` — traceroute-validate the policy-compliance inference (§3.1).
 
 Experiments have their own entry point: ``python -m repro.experiments``.
@@ -95,6 +96,19 @@ def cmd_failover(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import run_chaos
+
+    result = run_chaos(
+        storms=args.storms,
+        duration_s=args.duration,
+        seed=args.seed,
+        intensity=args.intensity,
+    )
+    print(result.render())
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from repro.measurement.traceroute import TracerouteConfig, validate_policy_compliance
 
@@ -112,7 +126,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 #: Experiments cheap enough for the default `report` invocation.
 _QUICK_EXPERIMENTS = (
-    "fig3", "fig8", "fig10", "fig11a", "fig11b", "fig12",
+    "fig3", "fig8", "fig10", "fig11a", "fig11b", "fig12", "chaos",
     "ext_congestion", "ext_multipath", "ext_ipv6", "ext_failover_sweep",
 )
 
@@ -158,6 +172,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     failover = sub.add_parser("failover", help="run the Fig. 10 failover simulation")
     failover.set_defaults(func=cmd_failover)
+
+    chaos = sub.add_parser("chaos", help="run seeded random fault storms")
+    chaos.add_argument("--storms", type=int, default=5, help="number of storms")
+    chaos.add_argument("--duration", type=float, default=130.0, help="storm length (s)")
+    chaos.add_argument("--seed", type=int, default=0, help="storm seed")
+    chaos.add_argument(
+        "--intensity", type=float, default=1.0,
+        help="expected fault-event count multiplier",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     validate = sub.add_parser("validate", help="traceroute-validate compliance inference")
     _add_scenario_args(validate)

@@ -30,6 +30,7 @@ from repro.core.orchestrator import (
     BudgetPoint,
     IterationRecord,
     LearningResult,
+    ObservationReport,
     PainterOrchestrator,
 )
 from repro.core.routing_model import DEFAULT_D_REUSE_KM, RoutingModel
@@ -53,6 +54,7 @@ __all__ = [
     "DEFAULT_INFLATION_SCALE_KM",
     "IterationRecord",
     "LearningResult",
+    "ObservationReport",
     "PainterOrchestrator",
     "RoutingModel",
     "anycast_config",

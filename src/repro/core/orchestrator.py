@@ -48,6 +48,38 @@ class BudgetPoint:
 
 
 @dataclass(frozen=True)
+class ObservationReport:
+    """Accounting of one ``execute_and_observe`` round under degradation."""
+
+    learned: int = 0
+    observed: int = 0
+    missing: int = 0
+    stale: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.observed + self.missing + self.stale
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of this round's observations withheld or stale."""
+        if self.total == 0:
+            return 0.0
+        return (self.missing + self.stale) / self.total
+
+
+class ObservationFaultsLike:
+    """Protocol-ish observation filter (see :class:`repro.faults.ObservationFaults`).
+
+    ``outcome(iteration, ug_id, prefix)`` returns ``"ok"``, ``"missing"``,
+    or ``"stale"``.
+    """
+
+    def outcome(self, iteration: int, ug_id: int, prefix: int) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
 class IterationRecord:
     """One learning iteration's outcome."""
 
@@ -59,11 +91,33 @@ class IterationRecord:
     estimated_benefit: float
     lower_benefit: float
     new_preferences: int
+    observations_observed: int = 0
+    observations_missing: int = 0
+    observations_stale: int = 0
+
+    @property
+    def degraded_fraction(self) -> float:
+        total = (
+            self.observations_observed
+            + self.observations_missing
+            + self.observations_stale
+        )
+        if total == 0:
+            return 0.0
+        return (self.observations_missing + self.observations_stale) / total
 
     @property
     def uncertainty(self) -> float:
-        """Pre-test uncertainty band: best case minus inflation-weighted."""
-        return self.upper_benefit - self.estimated_benefit
+        """Pre-test uncertainty band: best case minus inflation-weighted.
+
+        When fault injection withheld or staled part of the round's
+        observations, the band is widened proportionally — the model
+        refined itself on less evidence than the benefit estimate assumes,
+        so claiming the clean-round band would overstate confidence.
+        """
+        return (self.upper_benefit - self.estimated_benefit) * (
+            1.0 + self.degraded_fraction
+        )
 
 
 @dataclass
@@ -129,6 +183,9 @@ class PainterOrchestrator:
         #: single peering, reducing Algorithm 1 to a greedy one-per-peering.
         self._allow_reuse = allow_reuse
         self.budget_curve: List[BudgetPoint] = []
+        #: Freshest observation per (ug_id, prefix) — what a lagging
+        #: collector replays when fault injection serves stale data.
+        self._last_seen: Dict[Tuple[int, int], Tuple[FrozenSet[int], int]] = {}
 
     @property
     def model(self) -> RoutingModel:
@@ -260,14 +317,35 @@ class PainterOrchestrator:
 
     # -- Algorithm 1, outer loop -------------------------------------------
 
-    def execute_and_observe(self, config: AdvertisementConfig) -> int:
+    def execute_and_observe(
+        self,
+        config: AdvertisementConfig,
+        faults: Optional["ObservationFaultsLike"] = None,
+        iteration: int = 0,
+    ) -> ObservationReport:
         """Advertise ``config`` (against ground truth) and learn preferences.
 
-        Returns the number of new preference pairs learned.  This is the
-        ``RM <- execute_advertisement(CC)`` step.
+        This is the ``RM <- execute_advertisement(CC)`` step.  ``faults``
+        (an :class:`repro.faults.ObservationFaults`, or anything with its
+        ``outcome(iteration, ug_id, prefix)`` signature) decides per sample
+        whether the observation arrives, goes missing, or is served stale:
+
+        * **missing** — the collector never saw the UG; the sample is
+          skipped and counted, never guessed at;
+        * **stale** — the collector reports what this UG did under a
+          *previous* round's advertisement; the old (advertisement, ingress)
+          pair is re-fed to the model softly (no outcome overwrite, no
+          eviction of fresher pairs).  With no previous round to replay the
+          sample degrades to missing.
+
+        Returns an :class:`ObservationReport`; ``.learned`` is the number of
+        new preference pairs (the old integer return value).
         """
         routing = self._scenario.routing
         learned = 0
+        observed = 0
+        missing = 0
+        stale = 0
         for ug in self._scenario.user_groups:
             for prefix in config.prefixes:
                 advertised = config.peerings_for(prefix)
@@ -276,20 +354,50 @@ class PainterOrchestrator:
                 actual = routing.ingress_for(ug, advertised)
                 if actual is None:
                     continue
+                outcome = (
+                    faults.outcome(iteration, ug.ug_id, prefix)
+                    if faults is not None
+                    else "ok"
+                )
+                cache_key = (ug.ug_id, prefix)
+                if outcome == "missing":
+                    missing += 1
+                    continue
+                if outcome == "stale":
+                    previous = self._last_seen.get(cache_key)
+                    if previous is None:
+                        missing += 1  # nothing older to serve: a gap, not a lie
+                        continue
+                    old_advertised, old_actual = previous
+                    learned += self._model.observe(
+                        ug, old_advertised, old_actual, stale=True
+                    )
+                    stale += 1
+                    continue
                 learned += self._model.observe(ug, advertised, actual.peering_id)
-        return learned
+                self._last_seen[cache_key] = (advertised, actual.peering_id)
+                observed += 1
+        return ObservationReport(
+            learned=learned, observed=observed, missing=missing, stale=stale
+        )
 
     def learn(
         self,
         iterations: int = 4,
         stop_threshold: float = 0.0,
         record_curve: bool = False,
+        faults: Optional["ObservationFaultsLike"] = None,
     ) -> LearningResult:
         """Run the outer learning loop for up to ``iterations`` rounds.
 
         ``stop_threshold`` terminates early when the marginal realized-benefit
         increase falls below the given fraction (the paper terminates "when
         little marginal benefit increase" remains).
+
+        ``faults`` injects observation degradation (see
+        :meth:`execute_and_observe`); the loop completes regardless of how
+        many observations a round loses — missing rounds simply learn less
+        and carry a wider uncertainty band.
         """
         if iterations < 1:
             raise ValueError("need at least one iteration")
@@ -299,7 +407,7 @@ class PainterOrchestrator:
             config = self.solve(record_curve=record_curve)
             evaluation = self._evaluator.evaluate(config)
             expected = self._evaluator.expected_benefit(config)
-            learned = self.execute_and_observe(config)
+            report = self.execute_and_observe(config, faults=faults, iteration=iteration)
             realized = realized_benefit(self._scenario, config)
             result.iterations.append(
                 IterationRecord(
@@ -310,16 +418,22 @@ class PainterOrchestrator:
                     upper_benefit=evaluation.upper,
                     estimated_benefit=evaluation.estimated,
                     lower_benefit=evaluation.lower,
-                    new_preferences=learned,
+                    new_preferences=report.learned,
+                    observations_observed=report.observed,
+                    observations_missing=report.missing,
+                    observations_stale=report.stale,
                 )
             )
             logger.info(
                 "learning iteration %d: %s, realized benefit %.3f, "
-                "%d new preferences",
+                "%d new preferences (%d observed, %d missing, %d stale)",
                 iteration,
                 config,
                 realized,
-                learned,
+                report.learned,
+                report.observed,
+                report.missing,
+                report.stale,
             )
             if previous_benefit is not None and stop_threshold > 0:
                 gain = realized - previous_benefit

@@ -55,6 +55,7 @@ class RoutingModel:
         #: Distance cache keyed by (ug_id, peering_id).
         self._distance_cache: Dict[Tuple[int, int], float] = {}
         self._observation_count = 0
+        self._stale_observation_count = 0
 
     @property
     def d_reuse_km(self) -> float:
@@ -67,6 +68,10 @@ class RoutingModel:
     @property
     def observation_count(self) -> int:
         return self._observation_count
+
+    @property
+    def stale_observation_count(self) -> int:
+        return self._stale_observation_count
 
     def preference_count(self, ug: Optional[UserGroup] = None) -> int:
         if ug is not None:
@@ -196,7 +201,11 @@ class RoutingModel:
     # -- learning --------------------------------------------------------------
 
     def observe(
-        self, ug: UserGroup, advertised: FrozenSet[int], actual_peering_id: int
+        self,
+        ug: UserGroup,
+        advertised: FrozenSet[int],
+        actual_peering_id: int,
+        stale: bool = False,
     ) -> int:
         """Incorporate one observed routing outcome.
 
@@ -204,6 +213,12 @@ class RoutingModel:
         was live, so the actual ingress dominates every other compliant
         advertised ingress for this UG.  Returns how many new preference
         pairs were learned.
+
+        A ``stale`` observation describes the world as it *was* (the
+        collector pipeline lagged), so it is folded in softly: it never
+        writes the probability-1 outcome memory, never evicts a fresher
+        contradicting pair, and only adds preference pairs nothing fresh
+        disputes — the model widens rather than narrows on stale data.
         """
         compliant = self._catalog.compliant_subset(ug, advertised)
         if actual_peering_id not in advertised:
@@ -211,9 +226,20 @@ class RoutingModel:
                 f"observed peering {actual_peering_id} was not advertised"
             )
         context = self._peer_asns(compliant)
-        self._outcomes[(ug.ug_id, compliant)] = actual_peering_id
         prefs = self._preferences.setdefault(ug.ug_id, {})
         learned = 0
+        if stale:
+            for pid in compliant:
+                if pid == actual_peering_id:
+                    continue
+                pair = (actual_peering_id, pid)
+                if pair in prefs or (pid, actual_peering_id) in prefs:
+                    continue  # fresh (or equally stale) data already speaks
+                prefs[pair] = context
+                learned += 1
+            self._stale_observation_count += 1
+            return learned
+        self._outcomes[(ug.ug_id, compliant)] = actual_peering_id
         for pid in compliant:
             if pid == actual_peering_id:
                 continue

@@ -7,6 +7,7 @@ from repro.experiments.extensions import (
     run_ext_ipv6,
     run_ext_multipath,
 )
+from repro.experiments.chaos import ChaosConfig, ChaosHarness, run_chaos
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig6 import run_fig6a, run_fig6b, run_fig6c
 from repro.experiments.fig7 import run_fig7
@@ -20,6 +21,7 @@ from repro.experiments.fig15 import run_fig15a, run_fig15b
 from repro.experiments.harness import ExperimentResult, budget_grid, config_prefix_subset
 
 ALL_EXPERIMENTS = {
+    "chaos": run_chaos,
     "fig3": run_fig3,
     "fig6a": run_fig6a,
     "fig6b": run_fig6b,
@@ -44,6 +46,9 @@ ALL_EXPERIMENTS = {
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "ChaosConfig",
+    "ChaosHarness",
+    "run_chaos",
     "run_ext_congestion",
     "run_ext_egress",
     "run_ext_failover_sweep",

@@ -1,0 +1,43 @@
+"""Fault injection: typed fault schedules and graceful-degradation plumbing.
+
+PAINTER's headline operational claim is robustness — TM-Edges fail over at
+RTT timescales and the orchestrator keeps producing good configurations
+despite partial observations.  This package turns every experiment into a
+robustness experiment: a :class:`FaultSchedule` of typed, composable fault
+events, a :class:`FaultInjector` that arms them on the event loop, and an
+:class:`ObservationFaults` filter for the learning loop.
+"""
+
+from repro.faults.events import (
+    FaultEvent,
+    LatencySpike,
+    LinkFlap,
+    PeeringWithdrawal,
+    PopOutage,
+    ProbeLoss,
+    StaleMeasurement,
+)
+from repro.faults.injector import (
+    OUTCOME_MISSING,
+    OUTCOME_OK,
+    OUTCOME_STALE,
+    FaultInjector,
+    ObservationFaults,
+)
+from repro.faults.schedule import FaultSchedule
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "LatencySpike",
+    "LinkFlap",
+    "ObservationFaults",
+    "OUTCOME_MISSING",
+    "OUTCOME_OK",
+    "OUTCOME_STALE",
+    "PeeringWithdrawal",
+    "PopOutage",
+    "ProbeLoss",
+    "StaleMeasurement",
+]

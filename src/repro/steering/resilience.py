@@ -111,10 +111,36 @@ class ResilienceAnalysis:
             covered += volumes[pop_name]
         if not chosen:
             # Region hosts no (other) UGs: fall back to the nearest PoP.
-            chosen = {self._scenario.deployment.pops[0].name}
+            chosen = {self._nearest_pop_name(region)}
         result = frozenset(chosen)
         self._regional_pops_cache[region] = result
         return result
+
+    def _nearest_pop_name(self, region: str) -> str:
+        """The deployment PoP geographically nearest the region.
+
+        The region is located by its world metros (or, failing that, by the
+        scenario's UGs in it); the nearest PoP is the one minimizing the
+        distance to any of those anchor points.
+        """
+        from repro.topology.geo import haversine_km, metros_in_region
+
+        anchors = [metro.location for metro in metros_in_region(region)]
+        if not anchors:
+            anchors = [
+                ug.location
+                for ug in self._scenario.user_groups
+                if ug.metro.region == region
+            ]
+        pops = self._scenario.deployment.pops
+        if not anchors:
+            return pops[0].name
+        return min(
+            pops,
+            key=lambda pop: min(
+                haversine_km(pop.location, anchor) for anchor in anchors
+            ),
+        ).name
 
     # -- PAINTER exposure ---------------------------------------------------
 

@@ -1,6 +1,8 @@
 """The Traffic Manager: TM-Edge, TM-PoP, tunnels, flows, failover."""
 
 from repro.traffic_manager.failover import (
+    AnycastEpoch,
+    DowntimeEvent,
     FailoverConfig,
     FailoverResult,
     PathSpec,
@@ -42,7 +44,9 @@ from repro.traffic_manager.tunnel import (
 )
 
 __all__ = [
+    "AnycastEpoch",
     "DestinationLoad",
+    "DowntimeEvent",
     "ENCAP_OVERHEAD_BYTES",
     "LoadAwareSelector",
     "MultipathConnection",

@@ -1,4 +1,4 @@
-"""RTT-timescale failover (the Fig. 10 experiment).
+"""RTT-timescale failover (the Fig. 10 experiment) under arbitrary faults.
 
 Reproduces the prototype scenario of §5.2.3: an anycast prefix advertised at
 two PoPs plus single-transit unicast prefixes at each, a PoP failure at
@@ -11,16 +11,26 @@ t = 60 s, and three reactions compared —
   (modeled by :mod:`repro.bgp.convergence`);
 * **DNS** — clients keep using the stale record until the TTL expires
   (~60 s).
+
+The failure model is a :class:`repro.faults.FaultSchedule`: the legacy
+single-PoP scenario is just ``FaultSchedule.single_pop_outage(pop, t)``
+(what :class:`FailoverConfig` builds from its ``failed_pop`` /
+``failure_time_s`` fields when no explicit schedule is given), but any
+composition of outages, withdrawals, link flaps, latency spikes, and probe
+loss runs through the same simulation — including back-to-back failures
+the TM-Edge must survive repeatedly.
 """
 
 from __future__ import annotations
 
 import logging
 import math
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bgp.convergence import ConvergenceConfig, ConvergenceTrace, simulate_withdrawal
+from repro.faults.schedule import FaultSchedule
 from repro.simulation.events import EventLoop
 from repro.traffic_manager.selection import LowestLatencySelector, SelectionPolicyConfig
 
@@ -59,13 +69,47 @@ class FailoverConfig:
     detection_rtt_multiplier: float = 1.3
     #: TTL-bound failover time of the DNS alternative.
     dns_ttl_s: float = 60.0
-    convergence: ConvergenceConfig = ConvergenceConfig()
+    convergence: ConvergenceConfig = field(default_factory=ConvergenceConfig)
     seed: int = 0
+    #: Arbitrary fault timeline; when ``None`` the legacy single-PoP outage
+    #: (``failed_pop`` dies at ``failure_time_s``, forever) is used.
+    schedule: Optional[FaultSchedule] = None
+
+    def fault_schedule(self) -> FaultSchedule:
+        """The schedule actually simulated (explicit or legacy-derived)."""
+        if self.schedule is not None:
+            return self.schedule
+        return FaultSchedule.single_pop_outage(self.failed_pop, self.failure_time_s)
+
+
+@dataclass(frozen=True)
+class DowntimeEvent:
+    """One data-plane outage episode as the TM-Edge experienced it."""
+
+    prefix: str
+    detected_s: float
+    recovered_s: Optional[float] = None
+
+    @property
+    def duration_ms(self) -> float:
+        """Detection-to-recovery gap (``inf`` if never recovered)."""
+        if self.recovered_s is None:
+            return math.inf
+        return (self.recovered_s - self.detected_s) * 1000.0
+
+
+@dataclass(frozen=True)
+class AnycastEpoch:
+    """One dark window of an anycast path and its convergence trace."""
+
+    start_s: float
+    end_s: float
+    trace: ConvergenceTrace
 
 
 @dataclass
 class FailoverResult:
-    """Everything needed to regenerate Fig. 10."""
+    """Everything needed to regenerate Fig. 10 (and its chaos variants)."""
 
     config: FailoverConfig
     paths: Sequence[PathSpec]
@@ -74,6 +118,10 @@ class FailoverResult:
     convergence: ConvergenceTrace
     detection_time_s: Optional[float]
     recovery_time_s: Optional[float]
+    #: Every outage episode, in order (the legacy fields mirror the first).
+    downtime_events: List[DowntimeEvent] = field(default_factory=list)
+    #: Per anycast prefix: dark windows and their convergence traces.
+    anycast_epochs: Dict[str, List[AnycastEpoch]] = field(default_factory=dict)
 
     @property
     def painter_downtime_ms(self) -> float:
@@ -81,6 +129,27 @@ class FailoverResult:
         if self.recovery_time_s is None:
             return math.inf
         return (self.recovery_time_s - self.config.failure_time_s) * 1000.0
+
+    @property
+    def total_downtime_ms(self) -> float:
+        """Summed detection-to-recovery gaps over every outage episode.
+
+        Unrecovered episodes count until the end of the simulation — a
+        chaos storm that leaves the TM-Edge dark is charged for it.
+        """
+        total = 0.0
+        for event in self.downtime_events:
+            end_s = (
+                event.recovered_s
+                if event.recovered_s is not None
+                else self.config.duration_s
+            )
+            total += max(0.0, end_s - event.detected_s) * 1000.0
+        return total
+
+    @property
+    def recovery_count(self) -> int:
+        return sum(1 for e in self.downtime_events if e.recovered_s is not None)
 
     @property
     def anycast_loss_s(self) -> float:
@@ -112,7 +181,9 @@ class FailoverResult:
         self, step_s: float = 0.5
     ) -> Dict[str, List[Tuple[float, float]]]:
         """Per-prefix latency series (inf while unreachable), for plotting."""
-        oracle = _PathOracle(self.paths, self.config, self.convergence)
+        oracle = _PathOracle(
+            self.paths, self.config.fault_schedule(), self.anycast_epochs
+        )
         series: Dict[str, List[Tuple[float, float]]] = {p.prefix: [] for p in self.paths}
         t = 0.0
         while t <= self.config.duration_s:
@@ -123,44 +194,95 @@ class FailoverResult:
 
 
 class _PathOracle:
-    """Ground-truth RTT of each path over time."""
+    """Ground-truth RTT of each path over time, under a fault schedule."""
 
     def __init__(
-        self, paths: Sequence[PathSpec], config: FailoverConfig, trace: ConvergenceTrace
+        self,
+        paths: Sequence[PathSpec],
+        schedule: FaultSchedule,
+        anycast_epochs: Dict[str, List[AnycastEpoch]],
     ) -> None:
-        self._config = config
-        self._trace = trace
+        self._paths: Dict[str, PathSpec] = {p.prefix: p for p in paths}
+        self._schedule = schedule
+        self._epochs = anycast_epochs
+
+    def path(self, prefix: str) -> PathSpec:
+        return self._paths[prefix]
 
     def rtt_ms(self, path: PathSpec, time_s: float) -> float:
-        cfg = self._config
-        if time_s < cfg.failure_time_s:
-            return path.base_rtt_ms
+        spike = self._schedule.latency_penalty_ms(path.pop_name, time_s)
         if path.is_anycast:
-            penalty = self._trace.latency_penalty_at(time_s)
+            epoch = self._epoch_at(path.prefix, time_s)
+            if epoch is None:
+                return path.base_rtt_ms + spike
+            penalty = epoch.trace.latency_penalty_at(time_s)
             if math.isinf(penalty):
                 return math.inf
             assert path.backup_rtt_ms is not None
-            return path.backup_rtt_ms + penalty
-        if path.pop_name == cfg.failed_pop:
+            return path.backup_rtt_ms + penalty + spike
+        if self._schedule.path_down(path.pop_name, path.prefix, time_s):
             return math.inf
-        return path.base_rtt_ms
+        return path.base_rtt_ms + spike
+
+    def _epoch_at(self, prefix: str, time_s: float) -> Optional[AnycastEpoch]:
+        """The dark window governing the anycast prefix at ``time_s``.
+
+        A window governs from its start until it heals; the convergence
+        trace inside it decides reachability and inflation.  An infinite
+        window (the legacy forever-outage) governs until the end of time.
+        """
+        for epoch in self._epochs.get(prefix, ()):
+            if epoch.start_s <= time_s < epoch.end_s:
+                return epoch
+        return None
+
+
+def _build_anycast_epochs(
+    paths: Sequence[PathSpec], schedule: FaultSchedule, config: FailoverConfig
+) -> Dict[str, List[AnycastEpoch]]:
+    """One convergence trace per dark window of each anycast path.
+
+    Every withdrawal of the anycast's primary PoP starts a fresh BGP
+    convergence process (loss window, path exploration, settling).  The
+    first epoch of the first anycast path is seeded with ``config.seed``
+    so the default single-outage schedule reproduces the original Fig. 10
+    trace bit-for-bit.
+    """
+    epochs: Dict[str, List[AnycastEpoch]] = {}
+    anycast_paths = [p for p in paths if p.is_anycast]
+    for path_idx, path in enumerate(anycast_paths):
+        intervals = schedule.down_intervals(
+            pop_name=path.pop_name, prefix=path.prefix
+        )
+        path_epochs: List[AnycastEpoch] = []
+        for epoch_idx, (start_s, end_s) in enumerate(intervals):
+            trace = simulate_withdrawal(
+                start_s,
+                config=config.convergence,
+                seed=config.seed + 101 * path_idx + epoch_idx,
+            )
+            path_epochs.append(AnycastEpoch(start_s=start_s, end_s=end_s, trace=trace))
+        epochs[path.prefix] = path_epochs
+    return epochs
 
 
 def run_failover(
     paths: Sequence[PathSpec], config: Optional[FailoverConfig] = None
 ) -> FailoverResult:
-    """Run the event-driven failover simulation."""
+    """Run the event-driven failover simulation under the fault schedule."""
     config = config or FailoverConfig()
     if not paths:
         raise ValueError("need at least one path")
-    if not any(p.pop_name == config.failed_pop for p in paths):
+    if config.schedule is None and not any(
+        p.pop_name == config.failed_pop for p in paths
+    ):
         raise ValueError(f"no path touches the failed PoP {config.failed_pop!r}")
 
-    trace = simulate_withdrawal(
-        config.failure_time_s, config=config.convergence, seed=config.seed
-    )
-    oracle = _PathOracle(paths, config, trace)
+    schedule = config.fault_schedule()
+    epochs = _build_anycast_epochs(paths, schedule, config)
+    oracle = _PathOracle(paths, schedule, epochs)
     loop = EventLoop()
+    probe_rng = random.Random(config.seed + 0x5EED)
 
     # Measured RTT per prefix, as the TM-Edge currently believes.
     measured: Dict[str, float] = {p.prefix: p.base_rtt_ms for p in paths}
@@ -170,10 +292,9 @@ def run_failover(
     state = {
         "last_ack_s": 0.0,
         "last_send_s": 0.0,
-        "detection_time_s": None,
-        "recovery_time_s": None,
         "down_since_s": None,
     }
+    downtimes: List[DowntimeEvent] = []
     timeline: List[Tuple[float, Optional[str], float]] = []
     by_prefix = {p.prefix: p for p in paths}
     if timeline_seed is not None:
@@ -202,11 +323,15 @@ def run_failover(
                 def on_ack(loop: EventLoop, prefix: str = path.prefix, rtt: float = rtt) -> None:
                     state["last_ack_s"] = loop.now_s
                     measured[prefix] = rtt
-                    if (
-                        state["down_since_s"] is not None
-                        and state["recovery_time_s"] is None
-                    ):
-                        state["recovery_time_s"] = loop.now_s - rtt / 1000.0
+                    if state["down_since_s"] is not None:
+                        sent_s = loop.now_s - rtt / 1000.0
+                        if downtimes and downtimes[-1].recovered_s is None:
+                            downtimes[-1] = DowntimeEvent(
+                                prefix=downtimes[-1].prefix,
+                                detected_s=downtimes[-1].detected_s,
+                                recovered_s=sent_s,
+                            )
+                        state["down_since_s"] = None
                     timeline.append((loop.now_s, selector.current, rtt))
 
                 loop.schedule_at(delivered, on_ack)
@@ -220,9 +345,9 @@ def run_failover(
             if state["last_ack_s"] >= sent_at_s:
                 return  # an ack arrived in the meantime
             # Declare the tunnel down and switch to the best alternate.
-            if state["detection_time_s"] is None:
-                state["detection_time_s"] = loop.now_s
+            if state["down_since_s"] is None:
                 state["down_since_s"] = loop.now_s
+                downtimes.append(DowntimeEvent(prefix=prefix, detected_s=loop.now_s))
                 logger.info(
                     "tunnel %s declared down at t=%.3fs", prefix, loop.now_s
                 )
@@ -234,9 +359,21 @@ def run_failover(
 
     def probe_paths(loop: EventLoop) -> None:
         now = loop.now_s
+        # Fold the previous round's probe results into the selection — this
+        # is what lets the TM-Edge move *back* after a flap heals or find a
+        # live tunnel after every path was briefly dark.
+        previous = selector.current
+        selector.update(dict(measured))
+        if selector.current != previous:
+            timeline.append(
+                (now, selector.current, measured.get(selector.current or "", math.inf))
+            )
+        loss_rate = schedule.probe_loss_rate(now)
         for path in paths:
             if path.prefix == selector.current:
                 continue  # active path is measured by data packets
+            if loss_rate > 0 and probe_rng.random() < loss_rate:
+                continue  # probe dropped by the fault schedule
             rtt = oracle.rtt_ms(path, now)
 
             def on_probe(loop: EventLoop, prefix: str = path.prefix, rtt: float = rtt) -> None:
@@ -253,13 +390,23 @@ def run_failover(
     loop.schedule_at(0.0, probe_paths)
     loop.run_until(config.duration_s)
 
+    first_anycast = next((p.prefix for p in paths if p.is_anycast), None)
+    first_epochs = epochs.get(first_anycast, []) if first_anycast else []
+    convergence = (
+        first_epochs[0].trace
+        if first_epochs
+        else ConvergenceTrace(withdrawal_time_s=config.failure_time_s, events=[])
+    )
+
     return FailoverResult(
         config=config,
         paths=list(paths),
         timeline=timeline,
-        convergence=trace,
-        detection_time_s=state["detection_time_s"],
-        recovery_time_s=state["recovery_time_s"],
+        convergence=convergence,
+        detection_time_s=downtimes[0].detected_s if downtimes else None,
+        recovery_time_s=downtimes[0].recovered_s if downtimes else None,
+        downtime_events=downtimes,
+        anycast_epochs=epochs,
     )
 
 

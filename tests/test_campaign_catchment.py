@@ -113,3 +113,81 @@ class TestCatchment:
     def test_most_ugs_land_reasonably_close(self, analysis):
         # The anycast-works-for-most-users observation [21, 54].
         assert analysis.fraction_within_km(3000) > 0.5
+
+
+class TestCampaignFaults:
+    """Loss/timeout semantics under a FaultSchedule (chaos tentpole)."""
+
+    def test_dark_pop_exhausts_retries(self, scenario):
+        from repro.faults import FaultSchedule, PopOutage
+
+        pinger = Pinger(scenario.latency_model, jitter_mean_ms=0.0, seed=2)
+        config = CampaignConfig(
+            probes_per_second=1000.0, samples_per_target=2, max_retries=2
+        )
+        campaign = MeasurementCampaign(pinger, config)
+        ug, peering = campaign_targets(scenario, max_targets_per_ug=1)[0]
+        schedule = FaultSchedule(
+            events=(PopOutage(start_s=0.0, pop_name=peering.pop.name),)
+        )
+        result = campaign.run([(ug, peering)], faults=schedule)
+        assert result.targets_unreachable == 1
+        assert result.targets_measured == 0
+        # Every sample burns its full retry budget: 2 samples × 3 attempts.
+        assert result.attempts_for(ug, peering.peering_id) == 2 * 3
+        assert result.probes_lost == 6
+        assert result.retries == 4
+        assert result.loss_rate == 1.0
+
+    def test_loss_window_survived_by_backoff(self, scenario):
+        from repro.faults import FaultSchedule, ProbeLoss
+
+        pinger = Pinger(scenario.latency_model, jitter_mean_ms=0.0, seed=2)
+        config = CampaignConfig(
+            probes_per_second=1000.0, samples_per_target=1,
+            max_retries=2, retry_backoff_s=0.25,
+        )
+        campaign = MeasurementCampaign(pinger, config)
+        ug, peering = campaign_targets(scenario, max_targets_per_ug=1)[0]
+        # Total loss for 0.5 s: attempts at t=0 and t=0.25 die, the
+        # exponentially backed-off third attempt (t=0.75) gets through.
+        schedule = FaultSchedule(
+            events=(ProbeLoss(start_s=0.0, duration_s=0.5, loss_rate=1.0),)
+        )
+        result = campaign.run([(ug, peering)], faults=schedule)
+        assert result.targets_measured == 1
+        assert result.attempts_for(ug, peering.peering_id) == 3
+        assert result.retries == 2
+        assert result.probes_lost == 2
+        assert (ug.ug_id, peering.peering_id) in result.latencies_ms
+
+    def test_stale_window_serves_previous_day(self, scenario):
+        from repro.faults import FaultSchedule, StaleMeasurement
+
+        pinger = Pinger(scenario.latency_model, jitter_mean_ms=0.0, seed=2)
+        campaign = MeasurementCampaign(
+            pinger, CampaignConfig(probes_per_second=1000.0, samples_per_target=3)
+        )
+        targets = campaign_targets(scenario, max_targets_per_ug=1)[:5]
+        schedule = FaultSchedule(
+            events=(StaleMeasurement(start_s=0.0, duration_s=3600.0, fraction=1.0),)
+        )
+        result = campaign.run(targets, day=1, faults=schedule, seed=4)
+        fresh = campaign.run(targets, day=0)
+        assert result.targets_measured == len(targets)
+        assert result.stale_targets == set(result.latencies_ms)
+        # Day-1 probes inside the stale window report day-0 values.
+        assert result.latencies_ms == fresh.latencies_ms
+
+    def test_clean_run_attempt_accounting(self, scenario):
+        pinger = Pinger(scenario.latency_model, jitter_mean_ms=0.0, seed=2)
+        campaign = MeasurementCampaign(
+            pinger, CampaignConfig(probes_per_second=1000.0, samples_per_target=4)
+        )
+        targets = campaign_targets(scenario, max_targets_per_ug=1)[:8]
+        result = campaign.run(targets)
+        assert result.loss_rate == 0.0
+        assert result.retries == 0
+        assert result.stale_targets == set()
+        for ug, peering in targets:
+            assert result.attempts_for(ug, peering.peering_id) == 4

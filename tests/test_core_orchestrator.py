@@ -152,3 +152,85 @@ class TestLogging:
         with caplog.at_level(logging.INFO, logger="repro.core.orchestrator"):
             PainterOrchestrator(scenario_module, prefix_budget=2).learn(iterations=1)
         assert any("learning iteration" in r.message for r in caplog.records)
+
+
+class TestObservationDegradation:
+    """learn() under fault-injected missing/stale observations."""
+
+    def test_learn_completes_with_a_third_withheld(self, scenario_module):
+        from repro.faults import ObservationFaults
+
+        faults = ObservationFaults(missing_rate=0.4, seed=5)
+        orchestrator = PainterOrchestrator(scenario_module, prefix_budget=3)
+        result = orchestrator.learn(iterations=3, faults=faults)
+        assert len(result.iterations) == 3
+        observed = sum(r.observations_observed for r in result.iterations)
+        missing = sum(r.observations_missing for r in result.iterations)
+        total = observed + missing + sum(r.observations_stale for r in result.iterations)
+        assert total > 0
+        assert missing / total >= 0.30  # the acceptance bar: ≥30% withheld
+        for record in result.iterations:
+            assert record.realized_benefit >= 0.0
+
+    def test_uncertainty_widened_by_degradation(self, scenario_module):
+        from repro.faults import ObservationFaults
+
+        orchestrator = PainterOrchestrator(scenario_module, prefix_budget=3)
+        faults = ObservationFaults(missing_rate=0.4, seed=5)
+        result = orchestrator.learn(iterations=2, faults=faults)
+        for record in result.iterations:
+            clean_band = record.upper_benefit - record.estimated_benefit
+            assert record.degraded_fraction > 0.0
+            assert record.uncertainty == pytest.approx(
+                clean_band * (1.0 + record.degraded_fraction)
+            )
+            assert record.uncertainty > clean_band
+
+    def test_degraded_learning_deterministic_given_seed(self, scenario_module):
+        from repro.faults import ObservationFaults
+
+        def run():
+            faults = ObservationFaults(missing_rate=0.35, stale_rate=0.1, seed=11)
+            orchestrator = PainterOrchestrator(scenario_module, prefix_budget=3)
+            return orchestrator.learn(iterations=3, faults=faults)
+
+        a, b = run(), run()
+        assert a.realized_benefits == b.realized_benefits
+        for ra, rb in zip(a.iterations, b.iterations):
+            assert ra.observations_missing == rb.observations_missing
+            assert ra.observations_stale == rb.observations_stale
+            assert ra.config == rb.config
+
+    def test_stale_observations_replay_previous_round(self, scenario_module):
+        from repro.faults import ObservationFaults
+
+        faults = ObservationFaults(stale_rate=0.5, seed=2)
+        orchestrator = PainterOrchestrator(scenario_module, prefix_budget=3)
+        result = orchestrator.learn(iterations=3, faults=faults)
+        # Round 0 has no previous epoch: its stale draws degrade to missing.
+        assert result.iterations[0].observations_stale == 0
+        assert result.iterations[0].observations_missing > 0
+        # Later rounds serve genuinely stale data from the last-seen cache.
+        assert any(r.observations_stale > 0 for r in result.iterations[1:])
+        assert orchestrator.model.stale_observation_count > 0
+
+    def test_clean_run_reports_no_degradation(self, scenario_module):
+        orchestrator = PainterOrchestrator(scenario_module, prefix_budget=2)
+        result = orchestrator.learn(iterations=1)
+        record = result.iterations[0]
+        assert record.observations_missing == 0
+        assert record.observations_stale == 0
+        assert record.degraded_fraction == 0.0
+        assert record.uncertainty == pytest.approx(
+            record.upper_benefit - record.estimated_benefit
+        )
+
+    def test_observation_report_accounting(self, scenario_module):
+        from repro.core import ObservationReport
+
+        empty = ObservationReport()
+        assert empty.total == 0
+        assert empty.degraded_fraction == 0.0
+        report = ObservationReport(learned=4, observed=6, missing=3, stale=1)
+        assert report.total == 10
+        assert report.degraded_fraction == pytest.approx(0.4)

@@ -163,3 +163,40 @@ class TestLearning:
         snapshot = model.snapshot_preferences()
         assert ug.ug_id in snapshot
         assert len(snapshot[ug.ug_id]) == model.preference_count(ug)
+
+
+class TestStaleObservations:
+    def test_stale_never_overwrites_outcome_memory(self, scenario, model):
+        ug = scenario.user_groups[0]
+        advertised = frozenset(_compliant_sample(scenario, ug, k=3))
+        first, second = sorted(advertised)[:2]
+        model.observe(ug, advertised, first)
+        model.observe(ug, advertised, second, stale=True)
+        # The fresh probability-1 outcome still stands.
+        assert model.candidate_ingresses(ug, advertised) == frozenset({first})
+        assert model.stale_observation_count == 1
+        assert model.observation_count == 1
+
+    def test_stale_never_evicts_fresher_pair(self, scenario, model):
+        ug = scenario.user_groups[0]
+        advertised = frozenset(_compliant_sample(scenario, ug, k=3))
+        first, second = sorted(advertised)[:2]
+        model.observe(ug, advertised, first)
+        before = model.snapshot_preferences()[ug.ug_id]
+        learned = model.observe(ug, advertised, second, stale=True)
+        after = model.snapshot_preferences()[ug.ug_id]
+        # Every fresh pair survives; the stale winner only adds pairs that
+        # no fresh (or reversed) pair already disputes.
+        assert set(before) <= set(after)
+        assert (first, second) in after
+        assert (second, first) not in after
+        assert learned == len(after) - len(before)
+
+    def test_stale_alone_still_informs_an_empty_model(self, scenario, model):
+        ug = scenario.user_groups[0]
+        advertised = frozenset(_compliant_sample(scenario, ug, k=3))
+        winner = sorted(advertised)[0]
+        learned = model.observe(ug, advertised, winner, stale=True)
+        assert learned == len(scenario.catalog.compliant_subset(ug, advertised)) - 1
+        assert model.observation_count == 0
+        assert model.stale_observation_count == 1

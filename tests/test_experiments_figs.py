@@ -165,3 +165,37 @@ class TestFig15:
         reuse = result.column("reuse_factor")
         # Larger D_reuse must not increase prefix reuse.
         assert reuse[-1] <= reuse[0] + 1e-9
+
+
+class TestChaos:
+    @pytest.fixture(scope="class")
+    def chaos(self):
+        from repro.experiments.chaos import run_chaos
+
+        return run_chaos(storms=3, duration_s=100.0, seed=0)
+
+    def test_shape(self, chaos):
+        assert chaos.experiment_id == "chaos"
+        assert len(chaos.rows) == 3
+        assert "painter_downtime_ms" in chaos.columns
+        assert "dns_downtime_s" in chaos.columns
+
+    def test_metrics_sane(self, chaos):
+        by_col = dict(zip(chaos.columns, zip(*chaos.rows)))
+        assert all(v >= 0.0 for v in by_col["painter_downtime_ms"])
+        assert all(v >= 0.0 for v in by_col["anycast_downtime_s"])
+        assert all(v >= 0.0 for v in by_col["dns_downtime_s"])
+        # Across the storm set, RTT-timescale failover accumulates far less
+        # downtime than TTL-bound DNS steering facing identical weather.
+        painter_s = sum(by_col["painter_downtime_ms"]) / 1000.0
+        assert painter_s < sum(by_col["dns_downtime_s"])
+
+    def test_deterministic(self, chaos):
+        from repro.experiments.chaos import run_chaos
+
+        again = run_chaos(storms=3, duration_s=100.0, seed=0)
+        assert again.rows == chaos.rows
+
+    def test_render_mentions_damping(self, chaos):
+        rendered = chaos.render()
+        assert "route-flap-damped" in rendered

@@ -93,3 +93,57 @@ class TestSafety:
         loop.schedule_at(0.0, reschedule)
         with pytest.raises(RuntimeError):
             loop.run_all(max_events=100)
+
+
+class TestEdgeCases:
+    def test_cancel_already_fired_event_is_harmless(self):
+        loop = EventLoop()
+        ran = []
+        event = loop.schedule_at(1.0, lambda lp: ran.append("fired"))
+        loop.schedule_at(2.0, lambda lp: ran.append("later"))
+        loop.run_until(1.5)
+        assert ran == ["fired"]
+        loop.cancel(event)  # event already popped: no effect on anything else
+        loop.run_all()
+        assert ran == ["fired", "later"]
+        assert loop.processed_events == 2
+
+    def test_schedule_at_exactly_now(self):
+        loop = EventLoop()
+        loop.schedule_at(5.0, lambda lp: None)
+        loop.run_all()
+        ran = []
+        loop.schedule_at(5.0, lambda lp: ran.append(lp.now_s))  # == now_s
+        loop.run_all()
+        assert ran == [5.0]
+        assert loop.now_s == 5.0
+
+    def test_schedule_at_now_from_within_callback(self):
+        loop = EventLoop()
+        order = []
+
+        def first(lp):
+            order.append("first")
+            lp.schedule_at(lp.now_s, lambda l2: order.append("second"))
+
+        loop.schedule_at(1.0, first)
+        loop.run_all()
+        assert order == ["first", "second"]
+
+    def test_callback_exception_does_not_corrupt_loop(self):
+        loop = EventLoop()
+        ran = []
+
+        def explode(lp):
+            raise RuntimeError("boom")
+
+        loop.schedule_at(1.0, explode)
+        loop.schedule_at(2.0, lambda lp: ran.append(lp.now_s))
+        with pytest.raises(RuntimeError, match="boom"):
+            loop.run_all()
+        # The failing event is consumed; clock and heap stay consistent.
+        assert loop.now_s == 1.0
+        assert loop.pending_events == 1
+        loop.run_all()
+        assert ran == [2.0]
+        assert loop.now_s == 2.0

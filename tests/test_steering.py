@@ -198,3 +198,25 @@ class TestPecanComparator:
 
         with _pytest.raises(ValueError):
             pecan_config(world, budget=0)
+
+
+class TestRegionalPopsFallback:
+    def test_ug_free_region_falls_back_to_nearest_pop(self, world):
+        """A region hosting no UGs gets its geographically nearest PoP."""
+        from repro.topology.geo import haversine_km, metros_in_region
+
+        analysis = ResilienceAnalysis(world)
+        region = "africa"
+        assert all(ug.metro.region != region for ug in world.user_groups)
+        anchors = [metro.location for metro in metros_in_region(region)]
+        assert anchors, "world metros must cover the region"
+        expected = min(
+            world.deployment.pops,
+            key=lambda pop: min(haversine_km(pop.location, a) for a in anchors),
+        ).name
+        assert analysis.regional_pops(region) == frozenset({expected})
+
+    def test_fallback_is_cached(self, world):
+        analysis = ResilienceAnalysis(world)
+        first = analysis.regional_pops("africa")
+        assert analysis.regional_pops("africa") is first

@@ -125,3 +125,98 @@ class TestLogging:
         with caplog.at_level(logging.INFO, logger="repro.traffic_manager.failover"):
             run_failover(default_fig10_paths())
         assert any("declared down" in record.message for record in caplog.records)
+
+
+class TestFaultSchedules:
+    """run_failover() under arbitrary FaultSchedules (chaos tentpole)."""
+
+    def test_default_schedule_reproduces_fig10_exactly(self, result):
+        """The legacy single-PoP outage and its explicit schedule are identical."""
+        from repro.faults import FaultSchedule
+
+        explicit = run_failover(
+            default_fig10_paths(),
+            FailoverConfig(schedule=FaultSchedule.single_pop_outage("pop-a", 60.0)),
+        )
+        assert explicit.detection_time_s == result.detection_time_s
+        assert explicit.recovery_time_s == result.recovery_time_s
+        assert explicit.painter_downtime_ms == result.painter_downtime_ms
+        assert explicit.anycast_loss_s == result.anycast_loss_s
+        assert explicit.anycast_reconvergence_s == result.anycast_reconvergence_s
+        assert explicit.timeline == result.timeline
+
+    def test_fig10_numbers_pinned(self, result):
+        """Regression pin: the original Fig. 10 trace, bit-for-bit."""
+        assert result.detection_time_s == pytest.approx(60.041000000012254, abs=1e-9)
+        assert result.recovery_time_s == pytest.approx(60.045000000012266, abs=1e-9)
+
+    def test_two_pop_sequential_outage(self):
+        """TM-Edge survives back-to-back failures of both PoPs."""
+        from repro.faults import FaultSchedule, PopOutage
+
+        schedule = FaultSchedule(
+            events=(
+                PopOutage(start_s=60.0, pop_name="pop-a"),
+                PopOutage(start_s=80.0, pop_name="pop-b", duration_s=20.0),
+            )
+        )
+        result = run_failover(default_fig10_paths(), FailoverConfig(schedule=schedule))
+        assert len(result.downtime_events) == 2
+        assert result.recovery_count == 2
+        assert result.active_prefix_at(59.0) == "2.2.2.0/24"
+        assert result.active_prefix_at(75.0) == "3.3.3.0/24"
+        # With both PoPs' unicast prefixes dark, the reconverged anycast
+        # path (via the surviving announcement) is the only way out.
+        assert result.active_prefix_at(95.0) == "1.1.1.0/24"
+        # pop-b heals at t=100: the TM-Edge moves back to the better unicast.
+        assert result.active_prefix_at(129.0) == "3.3.3.0/24"
+        assert result.total_downtime_ms < 500.0
+
+    def test_flapping_link_recovery(self):
+        """Each down-phase costs ~1.3 RTT; the TM returns after each heal."""
+        from repro.faults import FaultSchedule, LinkFlap
+
+        schedule = FaultSchedule(
+            events=(
+                LinkFlap(
+                    start_s=30.0, prefix="2.2.2.0/24",
+                    down_s=1.0, up_s=5.0, cycles=3,
+                ),
+            )
+        )
+        result = run_failover(default_fig10_paths(), FailoverConfig(schedule=schedule))
+        assert len(result.downtime_events) == 3
+        assert result.recovery_count == 3
+        for event in result.downtime_events:
+            assert event.prefix == "2.2.2.0/24"
+            assert event.duration_ms < 100.0
+        # Between flaps and at the end the TM is back on the best prefix.
+        assert result.active_prefix_at(129.0) == "2.2.2.0/24"
+
+    def test_latency_spike_steers_away_and_back(self):
+        from repro.faults import FaultSchedule, LatencySpike
+
+        schedule = FaultSchedule(
+            events=(
+                LatencySpike(
+                    start_s=30.0, duration_s=30.0, magnitude_ms=50.0, pop_name="pop-a"
+                ),
+            )
+        )
+        result = run_failover(default_fig10_paths(), FailoverConfig(schedule=schedule))
+        # No packets are lost, so no downtime — only a latency-driven move.
+        assert result.downtime_events == []
+        assert result.active_prefix_at(45.0) == "3.3.3.0/24"
+        assert result.active_prefix_at(129.0) == "2.2.2.0/24"
+
+    def test_storm_deterministic_given_seed(self):
+        from repro.faults import FaultSchedule
+
+        storm = FaultSchedule.random_storm(
+            ["pop-a", "pop-b"], duration_s=110.0, seed=7,
+            prefixes=("2.2.2.0/24", "3.3.3.0/24"),
+        )
+        a = run_failover(default_fig10_paths(), FailoverConfig(schedule=storm, seed=7))
+        b = run_failover(default_fig10_paths(), FailoverConfig(schedule=storm, seed=7))
+        assert a.timeline == b.timeline
+        assert a.total_downtime_ms == b.total_downtime_ms
