@@ -1,0 +1,73 @@
+"""Wall-clock benchmark of Algorithm 1 on the azure preset.
+
+Pins the headline claim of the lazy-greedy fast path: ``solve()`` on
+``azure_scenario(seed=0)`` must run at least 3x faster than the pre-fast-path
+baseline while still producing the golden advertisement configuration, and
+its perf counters must show the heap actually skipped the work a naive
+greedy would have done.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.orchestrator import PainterOrchestrator
+from repro.perf import PERF
+from repro.scenario import azure_scenario
+
+#: Measured before the evaluation fast path landed (same machine class as
+#: CI): dense per-pair scoring with no latency-matrix precompute, no
+#: incremental prefix scans, and no vectorized marginals.
+PRE_PR_BASELINE_S = 60.9
+
+GOLDEN_PATH = Path(__file__).parent.parent / "tests" / "data" / "golden_solve_configs.json"
+
+
+def test_bench_solve_azure(benchmark):
+    golden = json.loads(GOLDEN_PATH.read_text())["azure_seed0"]
+    scenario = azure_scenario(seed=0)
+
+    def run():
+        PERF.reset()
+        orchestrator = PainterOrchestrator(
+            scenario, prefix_budget=golden["budget"]
+        )
+        start = time.perf_counter()
+        config = orchestrator.solve()
+        return config, time.perf_counter() - start
+
+    config, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Correctness first: the fast path must not change the solved config.
+    pairs = sorted(
+        [prefix, pid]
+        for prefix in config.prefixes
+        for pid in config.peerings_for(prefix)
+    )
+    assert pairs == golden["pairs"]
+
+    # Speed: at least 3x over the pre-fast-path baseline.
+    assert elapsed < PRE_PR_BASELINE_S / 3, (
+        f"solve() took {elapsed:.1f}s; fast path should beat "
+        f"{PRE_PR_BASELINE_S / 3:.1f}s"
+    )
+
+    # Laziness: the heap must have skipped most naive re-evaluations.
+    lazy = PERF.counter("orchestrator.marginal_evals").value
+    naive = PERF.counter("orchestrator.naive_marginal_evals").value
+    assert 0 < lazy < naive
+    lat_stats = PERF.cache("evaluator.latency_matrix")
+
+    benchmark.extra_info["solve_s"] = round(elapsed, 3)
+    benchmark.extra_info["speedup_vs_baseline"] = round(
+        PRE_PR_BASELINE_S / elapsed, 2
+    )
+    benchmark.extra_info["marginal_evals"] = lazy
+    benchmark.extra_info["naive_marginal_evals"] = naive
+    benchmark.extra_info["laziness_ratio"] = round(lazy / naive, 4)
+    benchmark.extra_info["latency_matrix_hit_rate"] = round(
+        lat_stats.hit_rate, 4
+    )
+    benchmark.extra_info["pairs"] = len(pairs)

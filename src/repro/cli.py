@@ -7,7 +7,8 @@ Commands:
   configuration;
 * ``failover`` — run the Fig. 10 failover simulation;
 * ``chaos``    — run seeded random fault storms against every steering strategy;
-* ``validate`` — traceroute-validate the policy-compliance inference (§3.1).
+* ``validate`` — traceroute-validate the policy-compliance inference (§3.1);
+* ``perf``     — instrumented solve/learn: counters, timers, cache hit rates.
 
 Experiments have their own entry point: ``python -m repro.experiments``.
 """
@@ -146,9 +147,37 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.reporting import run_and_report
 
     requested = args.experiments or list(_QUICK_EXPERIMENTS)
-    markdown = run_and_report(requested)
+    markdown = run_and_report(requested, jobs=args.jobs)
     Path(args.output).write_text(markdown)
     print(f"wrote {args.output} covering: {', '.join(requested)}")
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Run an instrumented solve/learn and print the perf counters."""
+    from repro.core.orchestrator import PainterOrchestrator
+    from repro.perf import PERF
+
+    PERF.reset()
+    scenario = _scenario_from(args)
+    orchestrator = PainterOrchestrator(
+        scenario, prefix_budget=args.budget, d_reuse_km=args.d_reuse
+    )
+    if args.iterations > 0:
+        orchestrator.learn(iterations=args.iterations)
+    else:
+        orchestrator.solve()
+    print(scenario.describe())
+    print()
+    print(PERF.render())
+    lazy = PERF.counter("orchestrator.marginal_evals").value
+    naive = PERF.counter("orchestrator.naive_marginal_evals").value
+    if naive:
+        print()
+        print(
+            f"laziness: {lazy} marginal evaluations vs {naive} for a naive "
+            f"full-re-evaluation greedy ({100 * lazy / naive:.1f}%)"
+        )
     return 0
 
 
@@ -200,7 +229,23 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", nargs="*", help="experiment ids (default: the quick ones)"
     )
     report.add_argument("--output", type=str, default="report.md", help="output path")
+    report.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the experiments (1 = serial)",
+    )
     report.set_defaults(func=cmd_report)
+
+    perf = sub.add_parser(
+        "perf", help="run an instrumented solve/learn and print perf counters"
+    )
+    _add_scenario_args(perf)
+    perf.add_argument("--budget", type=int, default=10, help="prefix budget")
+    perf.add_argument(
+        "--iterations", type=int, default=2,
+        help="learning iterations (0 = a single solve pass)",
+    )
+    perf.add_argument("--d-reuse", type=float, default=3000.0, help="D_reuse (km)")
+    perf.set_defaults(func=cmd_perf)
     return parser
 
 

@@ -16,15 +16,21 @@ Terminology follows the paper:
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.advertisement import AdvertisementConfig
 from repro.core.routing_model import RoutingModel
+from repro.perf import PERF
 from repro.routing.ground_truth import GroundTruthRouting
 from repro.scenario import Scenario
 from repro.topology.geo import haversine_km
 from repro.usergroups.usergroup import UserGroup
+
+#: Marks a latency-matrix slot whose value has not been computed yet
+#: (``None`` is a legitimate value: "unmeasurable ingress").
+_UNSET = object()
 
 #: Decay scale (km) for the inflation-probability weights in the "estimated"
 #: range: paths inflated by an extra X km get weight exp(-X/scale), matching
@@ -101,7 +107,35 @@ class BenefitEvaluator:
 
             latency_of = _true_latency
         self._latency_of = latency_of
-        self._latency_cache: Dict[Tuple[int, int], Optional[float]] = {}
+        # Dense UG×peering latency matrix: one row (list) per UG, one column
+        # per peering.  Rows are created on first touch and slots filled on
+        # demand (or in bulk by precompute_latency_matrix); a list index
+        # replaces the old per-call tuple-keyed dict walk on the hot path.
+        self._lat_cols: Dict[int, int] = {
+            p.peering_id: col for col, p in enumerate(scenario.deployment.peerings)
+        }
+        self._lat_rows: Dict[int, List[object]] = {}
+        #: Expected-latency memo per UG: (model epoch, {advertised set -> ms}).
+        #: Entries are discarded when the routing model's beliefs about the
+        #: UG move (epoch mismatch) — the invalidation contract of
+        #: :meth:`RoutingModel.ug_epoch`.
+        self._exp_cache: Dict[int, Tuple[int, Dict[FrozenSet[int], Optional[float]]]] = {}
+        self._lat_stats = PERF.cache("evaluator.latency_matrix")
+        self._exp_stats = PERF.cache("evaluator.expected_latency")
+        #: Per-UG (distance, latency) lookup over catalog-compliant
+        #: ingresses, built on first fast-path use (see :class:`PrefixScan`).
+        #: Distances and true latencies are immutable, so no invalidation.
+        self._scan_tables: Dict[int, Dict[int, Tuple[float, Optional[float]]]] = {}
+
+    def _scan_table(self, ug: UserGroup) -> Dict[int, Tuple[float, Optional[float]]]:
+        table = self._scan_tables.get(ug.ug_id)
+        if table is None:
+            model = self._model
+            table = self._scan_tables[ug.ug_id] = {
+                pid: (model.distance_km(ug, pid), self.latency(ug, pid))
+                for pid in model.catalog.ingress_ids(ug)
+            }
+        return table
 
     @property
     def scenario(self) -> Scenario:
@@ -112,17 +146,75 @@ class BenefitEvaluator:
         return self._model
 
     def latency(self, ug: UserGroup, peering_id: int) -> Optional[float]:
-        key = (ug.ug_id, peering_id)
-        if key not in self._latency_cache:
-            self._latency_cache[key] = self._latency_of(ug, peering_id)
-        return self._latency_cache[key]
+        row = self._lat_rows.get(ug.ug_id)
+        if row is None:
+            row = self._lat_rows[ug.ug_id] = [_UNSET] * len(self._lat_cols)
+        col = self._lat_cols[peering_id]
+        value = row[col]
+        if value is _UNSET:
+            self._lat_stats.misses += 1
+            value = self._latency_of(ug, peering_id)
+            row[col] = value
+        else:
+            self._lat_stats.hits += 1
+        return value
+
+    def precompute_latency_matrix(
+        self, user_groups: Optional[Sequence[UserGroup]] = None
+    ) -> int:
+        """Bulk-fill the latency matrix for every entry Algorithm 1 touches.
+
+        Fills each UG's row at its policy-compliant ingresses (the only
+        columns the greedy scan can query), so the scan itself never pays a
+        ``latency_of`` call.  Returns the number of newly filled slots.
+        """
+        catalog = self._model.catalog
+        ugs = self._scenario.user_groups if user_groups is None else user_groups
+        filled = 0
+        for ug in ugs:
+            row = self._lat_rows.get(ug.ug_id)
+            if row is None:
+                row = self._lat_rows[ug.ug_id] = [_UNSET] * len(self._lat_cols)
+            for pid in catalog.ingress_ids(ug):
+                col = self._lat_cols[pid]
+                if row[col] is _UNSET:
+                    self._lat_stats.misses += 1
+                    row[col] = self._latency_of(ug, pid)
+                    filled += 1
+        return filled
+
+    def latencies_for(
+        self, peering_id: int, user_groups: Sequence[UserGroup]
+    ) -> List[Optional[float]]:
+        """One latency-matrix column, in ``user_groups`` order."""
+        return [self.latency(ug, peering_id) for ug in user_groups]
+
+    def begin_prefix_scan(self) -> "PrefixScan":
+        """Start an incremental Eq.-2 session for one prefix's inner loop."""
+        return PrefixScan(self)
 
     # -- Eq. 2: modeled improvement -------------------------------------------
 
     def expected_prefix_latency(
         self, ug: UserGroup, advertised: FrozenSet[int]
     ) -> Optional[float]:
-        return self._model.expected_latency_ms(ug, advertised, self.latency)
+        key = advertised if isinstance(advertised, frozenset) else frozenset(advertised)
+        epoch = self._model.ug_epoch(ug.ug_id)
+        entry = self._exp_cache.get(ug.ug_id)
+        if entry is None or entry[0] != epoch:
+            if entry is not None:
+                self._exp_stats.invalidations += 1
+            entry = (epoch, {})
+            self._exp_cache[ug.ug_id] = entry
+        cache = entry[1]
+        value = cache.get(key, _UNSET)
+        if value is not _UNSET:
+            self._exp_stats.hits += 1
+            return value
+        self._exp_stats.misses += 1
+        value = self._model.expected_latency_ms(ug, key, self.latency)
+        cache[key] = value
+        return value
 
     def expected_improvement(self, ug: UserGroup, config: AdvertisementConfig) -> float:
         """Eq. 2: improvement of the best prefix over anycast, floored at 0."""
@@ -204,6 +296,141 @@ class BenefitEvaluator:
         return ConfigEvaluation(
             lower=lower, mean=mean, estimated=estimated, upper=upper, per_ug_estimated=per_ug
         )
+
+
+class PrefixScan:
+    """Incremental Eq.-2 evaluation for one prefix's greedy inner loop.
+
+    Algorithm 1's inner loop evaluates ``expected_prefix_latency(ug, A ∪
+    {pid})`` for a slowly-growing advertised set ``A`` and thousands of
+    candidate peerings — recomputing the candidate prediction from scratch
+    each time is the solver's dominant cost.  For UGs the model has **no
+    learned state** about (no preference pairs, no outcome memory —
+    :meth:`RoutingModel.has_learned_state`), the prediction reduces to pure
+    reuse-distance pruning:
+
+        kept = {q ∈ compliant : dist(q) ≤ min_dist(compliant) + D_reuse}
+
+    so this session keeps, per UG, the accepted compliant ingresses sorted
+    by distance with prefix sums of their measurable latencies.  A marginal
+    query then costs one binary search instead of a full candidate-set
+    rebuild.  UGs with learned state fall back to the evaluator's exact
+    (memoized) path; the fast/slow split is reported by the
+    ``evaluator.scan_fast_queries`` / ``scan_slow_queries`` perf counters.
+
+    Mutating the routing model mid-scan (``observe``/``restore``) is not
+    supported — Algorithm 1 only learns *between* solves.
+    """
+
+    __slots__ = (
+        "_ev", "_model", "_learned", "_tables", "_d_reuse", "_advertised",
+        "_frozen", "_states", "_fast_queries", "_slow_queries",
+    )
+
+    def __init__(self, evaluator: BenefitEvaluator) -> None:
+        self._ev = evaluator
+        self._model = evaluator.model
+        # Bound once: the query path runs millions of times per solve.
+        self._learned = self._model.learned_ug_ids
+        self._tables = evaluator._scan_tables
+        self._d_reuse = self._model.d_reuse_km
+        self._advertised: Set[int] = set()
+        self._frozen: FrozenSet[int] = frozenset()
+        # ug_id -> [dists (sorted), latency prefix sums, measurable prefix
+        # counts]; parallel lists, sums/cnts one longer than dists.
+        self._states: Dict[int, List[list]] = {}
+        self._fast_queries = PERF.counter("evaluator.scan_fast_queries")
+        self._slow_queries = PERF.counter("evaluator.scan_slow_queries")
+
+    def query(self, ug: UserGroup, peering_id: int) -> Optional[float]:
+        """Expected latency of the accepted set plus ``peering_id``."""
+        ug_id = ug.ug_id
+        if ug_id in self._learned:
+            self._slow_queries.value += 1
+            return self._ev.expected_prefix_latency(
+                ug, frozenset(self._advertised | {peering_id})
+            )
+        self._fast_queries.value += 1
+        table = self._tables.get(ug_id)
+        if table is None:
+            table = self._ev._scan_table(ug)
+        dist_p, lat_p = table[peering_id]
+        state = self._states.get(ug_id)
+        if state is None:
+            return lat_p  # singleton candidate set
+        dists, sums, cnts = state
+        closest = dists[0]
+        if dist_p < closest:
+            closest = dist_p
+        limit = closest + self._d_reuse
+        idx = bisect_right(dists, limit)
+        total = sums[idx]
+        count = cnts[idx]
+        if dist_p <= limit and lat_p is not None:
+            total += lat_p
+            count += 1
+        if count == 0:
+            return None
+        return total / count
+
+    def current(self, ug: UserGroup) -> Optional[float]:
+        """Expected latency of the accepted set as it stands."""
+        if ug.ug_id in self._learned:
+            return self._ev.expected_prefix_latency(ug, self._frozen)
+        state = self._states.get(ug.ug_id)
+        if state is None:
+            return None  # nothing compliant accepted yet
+        dists, sums, cnts = state
+        idx = bisect_right(dists, dists[0] + self._d_reuse)
+        if cnts[idx] == 0:
+            return None
+        return sums[idx] / cnts[idx]
+
+    def kept_stats(self, ug: UserGroup) -> Tuple[float, float, int, Optional[float]]:
+        """``(closest km, kept latency sum, kept count, expected)`` for a
+        fast-path UG with at least one accepted compliant peering.
+
+        This is the scalar state the orchestrator mirrors into its numpy
+        arrays so refreshed marginals can be evaluated as one vector
+        expression per peering instead of a per-UG Python loop.
+        """
+        dists, sums, cnts = self._states[ug.ug_id]
+        closest = dists[0]
+        idx = bisect_right(dists, closest + self._d_reuse)
+        total = sums[idx]
+        count = cnts[idx]
+        return closest, total, count, (total / count if count else None)
+
+    def accept(self, peering_id: int, affected: Sequence[UserGroup]) -> None:
+        """Fold an accepted peering into the session state."""
+        self._advertised.add(peering_id)
+        self._frozen = frozenset(self._advertised)
+        for ug in affected:
+            ug_id = ug.ug_id
+            if ug_id in self._learned:
+                continue
+            table = self._tables.get(ug_id)
+            if table is None:
+                table = self._ev._scan_table(ug)
+            dist, lat = table[peering_id]
+            state = self._states.get(ug_id)
+            if state is None:
+                self._states[ug_id] = [
+                    [dist],
+                    [0.0, lat if lat is not None else 0.0],
+                    [0, 1 if lat is not None else 0],
+                ]
+                continue
+            dists, sums, cnts = state
+            idx = bisect_right(dists, dist)
+            dists.insert(idx, dist)
+            measurable = lat is not None
+            sums.insert(idx + 1, sums[idx] + (lat if measurable else 0.0))
+            cnts.insert(idx + 1, cnts[idx] + (1 if measurable else 0))
+            if measurable:
+                for j in range(idx + 2, len(sums)):
+                    sums[j] += lat
+                    cnts[j] += 1
 
 
 def realized_improvement(

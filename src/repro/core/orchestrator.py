@@ -20,17 +20,22 @@ from __future__ import annotations
 
 import heapq
 import logging
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.core.advertisement import AdvertisementConfig
 from repro.core.benefit import BenefitEvaluator, LatencyFn, realized_benefit
 from repro.core.routing_model import DEFAULT_D_REUSE_KM, RoutingModel
+from repro.perf import PERF
 from repro.scenario import Scenario
 from repro.usergroups.usergroup import UserGroup
 
 #: Marginal benefit below this (volume-weighted ms) counts as "no benefit".
 EPSILON_BENEFIT = 1e-9
+_DEBUG_CHECK = False  # cross-check vectorized marginals against the scalar path
 
 logger = logging.getLogger(__name__)
 
@@ -186,6 +191,17 @@ class PainterOrchestrator:
         #: Freshest observation per (ug_id, prefix) — what a lagging
         #: collector replays when fault injection serves stale data.
         self._last_seen: Dict[Tuple[int, int], Tuple[FrozenSet[int], int]] = {}
+        #: Static per-peering evaluation arrays (built on first solve):
+        #: affected-UG row indices, volumes, and latencies.  Latencies and
+        #: the catalog are immutable, so these never need invalidation.
+        self._ug_index: Dict[int, int] = {
+            ug.ug_id: i for i, ug in enumerate(scenario.user_groups)
+        }
+        self._aff_rows: Optional[Dict[int, List[int]]] = None
+        self._aff_idx: Dict[int, "np.ndarray"] = {}
+        self._aff_vol: Dict[int, "np.ndarray"] = {}
+        self._aff_lat: Dict[int, "np.ndarray"] = {}
+        self._aff_dist: Dict[int, "np.ndarray"] = {}
 
     @property
     def model(self) -> RoutingModel:
@@ -206,59 +222,261 @@ class PainterOrchestrator:
                 affected.setdefault(pid, []).append(ug)
         return affected
 
+    def _ensure_affected_arrays(self, vol_arr: "np.ndarray") -> None:
+        """Build the static per-peering arrays the vectorized scan uses."""
+        if self._aff_rows is not None:
+            return
+        evaluator = self._evaluator
+        model = self._model
+        ug_index = self._ug_index
+        self._aff_rows = {}
+        for pid, affected in self._affected.items():
+            rows = [ug_index[ug.ug_id] for ug in affected]
+            self._aff_rows[pid] = rows
+            idx = np.array(rows, dtype=np.intp)
+            self._aff_idx[pid] = idx
+            self._aff_vol[pid] = vol_arr[idx]
+            lats = evaluator.latencies_for(pid, affected)
+            self._aff_lat[pid] = np.array(
+                [np.nan if lat is None else lat for lat in lats]
+            )
+            self._aff_dist[pid] = np.array(
+                [model.distance_km(ug, pid) for ug in affected]
+            )
+
     # -- Algorithm 1, middle + inner loops ----------------------------------
 
     def solve(self, record_curve: bool = False) -> AdvertisementConfig:
         """Greedy allocation of the prefix budget (one outer-loop pass)."""
+        with PERF.timed("orchestrator.solve"):
+            return self._solve(record_curve=record_curve)
+
+    def _solve(self, record_curve: bool = False) -> AdvertisementConfig:
         scenario = self._scenario
         evaluator = self._evaluator
         config = AdvertisementConfig()
         self.budget_curve = []
+        PERF.counter("orchestrator.solve_calls").add()
+        marginal_evals = PERF.counter("orchestrator.marginal_evals")
+        naive_evals = PERF.counter("orchestrator.naive_marginal_evals")
+        repushes = PERF.counter("orchestrator.heap_repushes")
+        # Fill the UG×peering latency matrix up front so the ranked scan
+        # below never pays a latency_of call mid-heap-operation.
+        evaluator.precompute_latency_matrix()
 
-        anycast: Dict[int, float] = {
-            ug.ug_id: scenario.anycast_latency_ms(ug) for ug in scenario.user_groups
-        }
-        # Expected latency per (ug, prefix); None when prefix unusable.
-        exp_lat: Dict[int, List[Optional[float]]] = {
-            ug.ug_id: [None] * self._budget for ug in scenario.user_groups
-        }
+        ugs = scenario.user_groups
+        n_ugs = len(ugs)
+        model = self._model
+        anycast_arr = np.array(
+            [scenario.anycast_latency_ms(ug) for ug in ugs]
+        )
+        vol_list = [ug.volume for ug in ugs]
+        vol_arr = np.array(vol_list)
+        self._ensure_affected_arrays(vol_arr)
+        fast_queries = PERF.counter("evaluator.scan_fast_queries")
 
-        def best_other(ug: UserGroup, prefix: int) -> float:
-            best = anycast[ug.ug_id]
-            for q, value in enumerate(exp_lat[ug.ug_id]):
-                if q == prefix or value is None:
-                    continue
-                if value < best:
-                    best = value
-            return best
+        # Expected latency per (UG row, prefix); +inf where the prefix is
+        # unusable for the UG (None), so row minima need no masking.
+        exp_np = np.full((n_ugs, self._budget), np.inf)
+
+        # Per-solve fast/slow split: the vectorized heap build covers UGs
+        # whose predictions are pure distance pruning; UGs with learned
+        # state go through the exact (memoized) Eq.-2 path.
+        learned_rows = {
+            self._ug_index[ug_id]
+            for ug_id in model.learned_ug_ids
+            if ug_id in self._ug_index
+        }
+        if learned_rows:
+            build_idx: Dict[int, "np.ndarray"] = {}
+            build_vol: Dict[int, "np.ndarray"] = {}
+            build_lat: Dict[int, "np.ndarray"] = {}
+            build_dist: Dict[int, "np.ndarray"] = {}
+            learned_aff: Dict[int, List[Tuple[UserGroup, int]]] = {}
+            for pid, affected in self._affected.items():
+                rows = self._aff_rows[pid]
+                keep = np.array(
+                    [row not in learned_rows for row in rows], dtype=bool
+                )
+                if keep.all():
+                    build_idx[pid] = self._aff_idx[pid]
+                    build_vol[pid] = self._aff_vol[pid]
+                    build_lat[pid] = self._aff_lat[pid]
+                    build_dist[pid] = self._aff_dist[pid]
+                else:
+                    build_idx[pid] = self._aff_idx[pid][keep]
+                    build_vol[pid] = self._aff_vol[pid][keep]
+                    build_lat[pid] = self._aff_lat[pid][keep]
+                    build_dist[pid] = self._aff_dist[pid][keep]
+                    learned_aff[pid] = [
+                        (ug, row)
+                        for ug, row in zip(affected, rows)
+                        if row in learned_rows
+                    ]
+        else:
+            build_idx = self._aff_idx
+            build_vol = self._aff_vol
+            build_lat = self._aff_lat
+            build_dist = self._aff_dist
+            learned_aff = {}
 
         all_peering_ids = sorted(self._affected)
 
         for prefix in range(self._budget):
             advertised: Set[int] = set()
-            # Cache of each affected UG's best-other latency for this prefix.
-            other_cache: Dict[int, float] = {}
+            # Incremental Eq.-2 session: marginal queries against the
+            # growing accepted set cost a binary search for unlearned UGs
+            # instead of a full candidate-set rebuild.
+            scan = evaluator.begin_prefix_scan()
+            # Best latency each UG gets from anycast or *another* prefix.
+            # Fixed for the whole inner loop: accepts only change the
+            # current prefix's expected latencies, which are excluded —
+            # the reason the old per-accept base-cache clear was wasted
+            # work (exp_np[:, prefix] is still all-inf when this runs).
+            base_np = np.minimum(anycast_arr, exp_np.min(axis=1)) if n_ugs else anycast_arr
+            base_list = base_np.tolist()
+            # Expected latency of the current prefix per UG row (None until
+            # a compliant peering is accepted).
+            cur_p: List[Optional[float]] = [None] * n_ugs
+            # Numpy mirror of the PrefixScan state for unlearned UGs, so a
+            # refresh marginal is a handful of array ops instead of one
+            # bisect per affected UG:
+            #   d0_arr    closest accepted distance (inf while none kept)
+            #   csum_arr  sum of measurable kept-set latencies
+            #   ccnt_arr  count of measurable kept-set latencies
+            #   ob_arr    min(base, current expected) — the UG's best today
+            d_reuse = model.d_reuse_km
+            d0_arr = np.full(n_ugs, np.inf)
+            csum_arr = np.zeros(n_ugs)
+            ccnt_arr = np.zeros(n_ugs)
+            ob_arr = base_np.copy()
 
             def marginal(peering_id: int) -> float:
-                candidate_set = frozenset(advertised | {peering_id})
-                delta = 0.0
-                for ug in self._affected.get(peering_id, ()):
-                    base = other_cache.get(ug.ug_id)
-                    if base is None:
-                        base = best_other(ug, prefix)
-                        other_cache[ug.ug_id] = base
-                    old_p = exp_lat[ug.ug_id][prefix]
-                    old_best = base if old_p is None else min(base, old_p)
-                    new_p = evaluator.expected_prefix_latency(ug, candidate_set)
-                    new_best = old_best if new_p is None else min(base, new_p)
-                    delta += ug.volume * (old_best - new_best)
+                marginal_evals.add()
+                idx = build_idx[peering_id]
+                dist = build_dist[peering_id]
+                lat = build_lat[peering_id]
+                d0 = d0_arr[idx]
+                ob = ob_arr[idx]
+                # The candidate is closer than every kept accepted peering:
+                # the reuse window shrinks and kept entries may fall out, so
+                # those rows are recomputed exactly below.
+                shrink = (dist < d0) & np.isfinite(d0)
+                limit = np.where(dist < d0, dist, d0) + d_reuse
+                measurable = ~np.isnan(lat)
+                add = (dist <= limit) & measurable
+                new_cnt = ccnt_arr[idx] + add
+                new_sum = csum_arr[idx] + np.where(add, lat, 0.0)
+                new_p = new_sum / np.maximum(new_cnt, 1)
+                base = base_np[idx]
+                new_best = np.where(
+                    new_cnt > 0, np.minimum(base, new_p), ob
+                )
+                contrib = build_vol[peering_id] * (ob - new_best)
+                if shrink.any():
+                    contrib[shrink] = 0.0
+                fast_queries.value += len(lat)
+                delta = float(contrib.sum())
+                if shrink.any():
+                    for pos in np.nonzero(shrink)[0]:
+                        row = int(idx[pos])
+                        ug = ugs[row]
+                        ob_s = ob_arr[row]
+                        new_p_s = scan.query(ug, peering_id)
+                        if new_p_s is None:
+                            continue
+                        base_s = base_list[row]
+                        new_best_s = new_p_s if new_p_s < base_s else base_s
+                        delta += vol_list[row] * (ob_s - new_best_s)
+                for ug, row in learned_aff.get(peering_id, ()):
+                    base_s = base_list[row]
+                    old_p = cur_p[row]
+                    old_best = (
+                        base_s if old_p is None or base_s < old_p else old_p
+                    )
+                    new_p_s = scan.query(ug, peering_id)
+                    if new_p_s is None:
+                        new_best_s = old_best
+                    elif new_p_s < base_s:
+                        new_best_s = new_p_s
+                    else:
+                        new_best_s = base_s
+                    delta += vol_list[row] * (old_best - new_best_s)
+                if _DEBUG_CHECK:
+                    ref = 0.0
+                    for ug, row in zip(
+                        self._affected[peering_id], self._aff_rows[peering_id]
+                    ):
+                        base_s = base_list[row]
+                        old_p = cur_p[row]
+                        old_best = (
+                            base_s if old_p is None or base_s < old_p else old_p
+                        )
+                        new_p_s = scan.query(ug, peering_id)
+                        if new_p_s is None:
+                            new_best_s = old_best
+                        elif new_p_s < base_s:
+                            new_best_s = new_p_s
+                        else:
+                            new_best_s = base_s
+                        ref += vol_list[row] * (old_best - new_best_s)
+                    if abs(ref - delta) > 1e-6:
+                        import sys
+                        print(
+                            f"MISMATCH pid={peering_id} vec={delta!r} ref={ref!r}",
+                            file=sys.stderr,
+                        )
+                        for ug, row, pos in zip(
+                            self._affected[peering_id],
+                            self._aff_rows[peering_id],
+                            range(len(self._aff_rows[peering_id])),
+                        ):
+                            base_s = base_list[row]
+                            old_p = cur_p[row]
+                            old_best = (
+                                base_s
+                                if old_p is None or base_s < old_p
+                                else old_p
+                            )
+                            new_p_s = scan.query(ug, peering_id)
+                            if new_p_s is None:
+                                new_best_s = old_best
+                            elif new_p_s < base_s:
+                                new_best_s = new_p_s
+                            else:
+                                new_best_s = base_s
+                            c_ref = vol_list[row] * (old_best - new_best_s)
+                            c_vec = float(contrib[pos]) if pos < len(contrib) else 0.0
+                            if abs(c_ref - c_vec) > 1e-9 and not shrink[pos]:
+                                print(
+                                    f"  row={row} dist={dist[pos]} lat={lat[pos]}"
+                                    f" d0={d0_arr[row]} csum={csum_arr[row]}"
+                                    f" ccnt={ccnt_arr[row]} ob={ob_arr[row]}"
+                                    f" cur_p={old_p} new_p_ref={new_p_s}"
+                                    f" c_ref={c_ref} c_vec={c_vec}",
+                                    file=sys.stderr,
+                                )
+                        raise SystemExit(1)
                 return delta
 
-            # Lazy-greedy heap of (-marginal, staleness marker, peering id).
+            # Initial heap build: with nothing accepted yet, each unlearned
+            # affected UG contributes vol * max(0, base - latency), so one
+            # masked dot product replaces the per-UG Python loop.
             version = 0
             heap: List[Tuple[float, int, int]] = []
             for pid in all_peering_ids:
-                heapq.heappush(heap, (-marginal(pid), version, pid))
+                marginal_evals.add()
+                lat = build_lat[pid]
+                gain = np.fmax(base_np[build_idx[pid]] - lat, 0.0)
+                delta = float(build_vol[pid] @ gain)
+                fast_queries.value += len(lat)
+                for ug, row in learned_aff.get(pid, ()):
+                    base = base_list[row]
+                    new_p = scan.query(ug, pid)
+                    if new_p is not None and new_p < base:
+                        delta += vol_list[row] * (base - new_p)
+                heap.append((-delta, version, pid))
+            heapq.heapify(heap)
 
             while heap:
                 neg_delta, seen_version, pid = heapq.heappop(heap)
@@ -266,7 +484,12 @@ class PainterOrchestrator:
                     continue
                 if seen_version != version:
                     fresh = marginal(pid)
-                    if heap and -fresh < -heap[0][0] - EPSILON_BENEFIT:
+                    # Lazy re-evaluation: the refreshed marginal is only
+                    # re-enqueued when it has fallen below the current heap
+                    # top — otherwise it is still the best candidate and is
+                    # decided on right here, with no extra pop.
+                    if heap and fresh < -heap[0][0] - EPSILON_BENEFIT:
+                        repushes.add()
                         heapq.heappush(heap, (-fresh, version, pid))
                         continue
                     neg_delta = -fresh
@@ -276,14 +499,36 @@ class PainterOrchestrator:
                 advertised.add(pid)
                 config.add(prefix, pid)
                 version += 1
-                frozen = frozenset(advertised)
-                for ug in self._affected.get(pid, ()):
-                    exp_lat[ug.ug_id][prefix] = evaluator.expected_prefix_latency(
-                        ug, frozen
+                affected = self._affected.get(pid, ())
+                scan.accept(pid, affected)
+                for ug, row in zip(affected, self._aff_rows[pid]):
+                    if row in learned_rows:
+                        value = scan.current(ug)
+                    else:
+                        d0, ksum, kcnt, value = scan.kept_stats(ug)
+                        d0_arr[row] = d0
+                        csum_arr[row] = ksum
+                        ccnt_arr[row] = kcnt
+                    cur_p[row] = value
+                    exp_np[row, prefix] = np.inf if value is None else value
+                    base = base_list[row]
+                    ob_arr[row] = (
+                        base if value is None or base < value else value
                     )
-                other_cache.clear()
                 if not self._allow_reuse:
                     break  # one peering per prefix (ablation)
+
+            # What a naive greedy (full re-evaluation each step) would have
+            # spent on this prefix: one scan over the remaining peerings per
+            # accept, plus the final scan that finds nothing.
+            accepts = len(advertised)
+            n_peerings = len(all_peering_ids)
+            if self._allow_reuse:
+                naive_evals.add(
+                    (accepts + 1) * n_peerings - accepts * (accepts + 1) // 2
+                )
+            else:
+                naive_evals.add(n_peerings)
 
             if not advertised:
                 break  # nothing left anywhere: further prefixes also won't help
@@ -346,6 +591,8 @@ class PainterOrchestrator:
         observed = 0
         missing = 0
         stale = 0
+        timer = PERF.timer("orchestrator.execute_and_observe")
+        start = time.perf_counter()
         for ug in self._scenario.user_groups:
             for prefix in config.prefixes:
                 advertised = config.peerings_for(prefix)
@@ -377,6 +624,7 @@ class PainterOrchestrator:
                 learned += self._model.observe(ug, advertised, actual.peering_id)
                 self._last_seen[cache_key] = (advertised, actual.peering_id)
                 observed += 1
+        timer.add(time.perf_counter() - start)
         return ObservationReport(
             learned=learned, observed=observed, missing=missing, stale=stale
         )

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.perf import PERF
 from repro.topology.cloud import CloudDeployment, Peering
 from repro.topology.geo import haversine_km
 from repro.usergroups.ingresses import IngressCatalog
@@ -25,6 +26,9 @@ from repro.usergroups.usergroup import UserGroup
 
 #: Paper's operating point for the minimum reuse distance.
 DEFAULT_D_REUSE_KM = 3000.0
+
+#: Current on-disk/in-memory snapshot format (see :meth:`snapshot_preferences`).
+SNAPSHOT_VERSION = 2
 
 
 class RoutingModel:
@@ -54,8 +58,24 @@ class RoutingModel:
         self._outcomes: Dict[Tuple[int, FrozenSet[int]], int] = {}
         #: Distance cache keyed by (ug_id, peering_id).
         self._distance_cache: Dict[Tuple[int, int], float] = {}
+        self._pop_distance_cache: Dict[Tuple[int, str], float] = {}
         self._observation_count = 0
         self._stale_observation_count = 0
+        #: Memoized candidate predictions, bucketed per UG so that one
+        #: observation invalidates exactly that UG's entries in O(1):
+        #: ug_id -> {compliant peering-id set -> predicted candidates}.
+        self._candidate_cache: Dict[int, Dict[FrozenSet[int], FrozenSet[int]]] = {}
+        #: Per-UG invalidation epoch; bumped whenever the UG's beliefs change
+        #: so downstream caches (the evaluator's expected-latency memo) can
+        #: cheaply detect staleness without a callback protocol.
+        self._ug_epoch: Dict[int, int] = {}
+        #: Bumped on wholesale state replacement (restore_preferences).
+        self._global_epoch = 0
+        #: UGs with any learned state (preferences or outcome memory).  For
+        #: everyone else, candidate prediction is pure reuse-distance
+        #: pruning, which the evaluator's prefix-scan fast path exploits.
+        self._learned_ugs: Set[int] = set()
+        self._cand_stats = PERF.cache("routing_model.candidates")
 
     @property
     def d_reuse_km(self) -> float:
@@ -72,6 +92,21 @@ class RoutingModel:
     @property
     def stale_observation_count(self) -> int:
         return self._stale_observation_count
+
+    def ug_epoch(self, ug_id: int) -> int:
+        """Monotonic belief version for one UG.
+
+        Any cache keyed on this model's predictions for a UG can store the
+        epoch alongside its entries and discard them when it moves — the
+        caching/invalidation contract used by
+        :class:`repro.core.benefit.BenefitEvaluator`.
+        """
+        return self._global_epoch + self._ug_epoch.get(ug_id, 0)
+
+    def _invalidate_ug(self, ug_id: int) -> None:
+        self._candidate_cache.pop(ug_id, None)
+        self._ug_epoch[ug_id] = self._ug_epoch.get(ug_id, 0) + 1
+        self._cand_stats.invalidations += 1
 
     def preference_count(self, ug: Optional[UserGroup] = None) -> int:
         if ug is not None:
@@ -120,9 +155,34 @@ class RoutingModel:
         cached = self._distance_cache.get(key)
         if cached is None:
             peering = self._deployment.peering(peering_id)
-            cached = haversine_km(ug.location, peering.pop.location)
+            # Peerings co-located at one PoP share the distance; keying the
+            # haversine itself per (UG, PoP) makes the per-peering entry a
+            # dict copy instead of a trig evaluation.
+            pop_key = (ug.ug_id, peering.pop.name)
+            cached = self._pop_distance_cache.get(pop_key)
+            if cached is None:
+                cached = haversine_km(ug.location, peering.pop.location)
+                self._pop_distance_cache[pop_key] = cached
             self._distance_cache[key] = cached
         return cached
+
+    def distance_km(self, ug: UserGroup, peering_id: int) -> float:
+        """UG-to-ingress great-circle distance (cached)."""
+        return self._distance_km(ug, peering_id)
+
+    def has_learned_state(self, ug_id: int) -> bool:
+        """Whether any observation refined this UG's uniform assumption.
+
+        ``False`` means :meth:`candidate_ingresses` reduces to pure
+        reuse-distance pruning for this UG — the precondition for the
+        evaluator's incremental prefix-scan fast path.
+        """
+        return ug_id in self._learned_ugs
+
+    @property
+    def learned_ug_ids(self) -> Set[int]:
+        """Live read-only view of the UGs with learned state (do not mutate)."""
+        return self._learned_ugs
 
     # -- candidate prediction -----------------------------------------------
 
@@ -144,6 +204,21 @@ class RoutingModel:
         if not compliant:
             return frozenset()
 
+        bucket = self._candidate_cache.get(ug.ug_id)
+        if bucket is None:
+            bucket = self._candidate_cache[ug.ug_id] = {}
+        cached = bucket.get(compliant)
+        if cached is not None:
+            self._cand_stats.hits += 1
+            return cached
+        self._cand_stats.misses += 1
+        result = self._predict_candidates(ug, compliant)
+        bucket[compliant] = result
+        return result
+
+    def _predict_candidates(
+        self, ug: UserGroup, compliant: FrozenSet[int]
+    ) -> FrozenSet[int]:
         remembered = self._outcomes.get((ug.ug_id, compliant))
         if remembered is not None and remembered in compliant:
             return frozenset({remembered})
@@ -227,6 +302,10 @@ class RoutingModel:
             )
         context = self._peer_asns(compliant)
         prefs = self._preferences.setdefault(ug.ug_id, {})
+        # Beliefs about this UG are about to change: drop its memoized
+        # candidate sets and bump its epoch so downstream caches follow.
+        self._invalidate_ug(ug.ug_id)
+        self._learned_ugs.add(ug.ug_id)
         learned = 0
         if stale:
             for pid in compliant:
@@ -264,30 +343,75 @@ class RoutingModel:
             for (winner, loser) in pairs
         )
 
-    def snapshot_preferences(
-        self,
-    ) -> Mapping[int, Mapping[Tuple[int, int], FrozenSet[int]]]:
+    def snapshot_preferences(self) -> Dict[str, object]:
+        """Full learned state as a versioned dict (format ``SNAPSHOT_VERSION``).
+
+        Carries the preference pairs *and* the ``_outcomes`` probability-1
+        memory plus observation counters — earlier formats dropped the
+        outcomes, so persisting learning across runs silently lost the
+        strongest (deterministic) predictions.  The keys:
+
+        * ``"version"`` — the snapshot format, currently 2;
+        * ``"preferences"`` — ``{ug_id: {(winner, loser): context}}``;
+        * ``"outcomes"`` — ``{(ug_id, compliant set): observed ingress}``;
+        * ``"observation_count"`` / ``"stale_observation_count"``.
+        """
         return {
-            ug_id: dict(pairs) for ug_id, pairs in self._preferences.items()
+            "version": SNAPSHOT_VERSION,
+            "preferences": {
+                ug_id: dict(pairs) for ug_id, pairs in self._preferences.items()
+            },
+            "outcomes": dict(self._outcomes),
+            "observation_count": self._observation_count,
+            "stale_observation_count": self._stale_observation_count,
         }
 
-    def restore_preferences(
-        self,
-        snapshot: Mapping[int, Mapping[Tuple[int, int], Iterable[int]]],
-    ) -> None:
-        """Load a previously-saved preference state (replaces the current).
+    def restore_preferences(self, snapshot: Mapping) -> None:
+        """Load a previously-saved state (replaces the current).
 
         Lets an operator persist learning across orchestrator runs — the
         paper's configurations "need not change often" (§5.1.3), so the
         expensive part worth keeping is the learned routing model.
+
+        Accepts both the current versioned dict (see
+        :meth:`snapshot_preferences`) and the legacy preferences-only
+        mapping ``{ug_id: {(winner, loser): context}}``; legacy snapshots
+        restore with empty outcome memory and zeroed counters (they never
+        carried either).
         """
+        if "version" in snapshot:
+            version = snapshot["version"]
+            if version != SNAPSHOT_VERSION:
+                raise ValueError(f"unsupported snapshot version {version!r}")
+            preferences = snapshot["preferences"]
+            outcomes = snapshot.get("outcomes", {})
+            observation_count = int(snapshot.get("observation_count", 0))
+            stale_count = int(snapshot.get("stale_observation_count", 0))
+        else:  # legacy: bare {ug_id: pairs} mapping
+            preferences = snapshot
+            outcomes = {}
+            observation_count = 0
+            stale_count = 0
         self._preferences = {
             int(ug_id): {
                 (int(w), int(l)): frozenset(int(a) for a in context)
                 for (w, l), context in pairs.items()
             }
-            for ug_id, pairs in snapshot.items()
+            for ug_id, pairs in preferences.items()
         }
+        self._outcomes = {
+            (int(ug_id), frozenset(int(p) for p in compliant)): int(actual)
+            for (ug_id, compliant), actual in outcomes.items()
+        }
+        self._observation_count = observation_count
+        self._stale_observation_count = stale_count
+        self._learned_ugs = {
+            ug_id for ug_id, pairs in self._preferences.items() if pairs
+        } | {ug_id for (ug_id, _compliant) in self._outcomes}
+        # Every UG's beliefs may have changed wholesale.
+        self._candidate_cache.clear()
+        self._global_epoch += 1
+        self._cand_stats.invalidations += 1
 
 
 class LatencySource:

@@ -1,12 +1,15 @@
 """Run every experiment and print its table: ``python -m repro.experiments``.
 
-Pass experiment ids to run a subset, e.g.::
+Pass experiment ids to run a subset, and ``--jobs N`` to fan independent
+experiments out over worker processes, e.g.::
 
     python -m repro.experiments fig3 fig10
+    python -m repro.experiments --jobs 4
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -14,26 +17,53 @@ from repro.experiments import ALL_EXPERIMENTS
 
 
 def main(argv: list) -> int:
-    requested = argv or list(ALL_EXPERIMENTS)
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments", description="run reproduction experiments"
+    )
+    parser.add_argument(
+        "ids", nargs="*", help="experiment ids (default: all registered)"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial in this process)",
+    )
+    args = parser.parse_args(argv)
+    requested = args.ids or list(ALL_EXPERIMENTS)
     unknown = [name for name in requested if name not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; available: {list(ALL_EXPERIMENTS)}")
         return 2
+
+    if args.jobs > 1:
+        from repro.experiments.harness import run_experiments_parallel
+
+        start = time.time()
+        results = run_experiments_parallel(requested, jobs=args.jobs)
+        elapsed = time.time() - start
+        for name in requested:
+            _print_result(name, results[name])
+        print(f"({len(requested)} experiments in {elapsed:.1f} s across {args.jobs} jobs)")
+        return 0
+
     for name in requested:
         start = time.time()
         result = ALL_EXPERIMENTS[name]()
         elapsed = time.time() - start
-        print(result.render())
-        if "strategy" in result.columns and "budget_prefixes" in result.columns:
-            from repro.experiments.plotting import plot_benefit_curves
-
-            candidates = ("benefit_frac", "avg_improvement_ms", "estimated_frac")
-            value = next((c for c in candidates if c in result.columns), None)
-            if value is not None:
-                print()
-                print(plot_benefit_curves(result, value_column=value))
+        _print_result(name, result)
         print(f"({name} ran in {elapsed:.1f} s)\n")
     return 0
+
+
+def _print_result(name: str, result) -> None:
+    print(result.render())
+    if "strategy" in result.columns and "budget_prefixes" in result.columns:
+        from repro.experiments.plotting import plot_benefit_curves
+
+        candidates = ("benefit_frac", "avg_improvement_ms", "estimated_frac")
+        value = next((c for c in candidates if c in result.columns), None)
+        if value is not None:
+            print()
+            print(plot_benefit_curves(result, value_column=value))
 
 
 if __name__ == "__main__":

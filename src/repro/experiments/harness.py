@@ -1,14 +1,19 @@
-"""Common experiment plumbing: result tables and budget grids.
+"""Common experiment plumbing: result tables, budget grids, parallel runs.
 
 Every ``figN`` module returns a :class:`ExperimentResult` whose rows mirror
 the series the paper plots, so benchmarks, tests, and EXPERIMENTS.md all
-consume the same artifact.
+consume the same artifact.  :func:`run_experiments_parallel` fans a batch of
+experiment ids out over worker processes (each worker shares scenario builds
+via the preset cache) and folds the workers' perf counters back into the
+parent registry.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 Cell = Union[str, int, float]
 
@@ -72,6 +77,70 @@ def budget_grid(max_budget: int) -> List[int]:
     out = [b for b in grid if b < max_budget]
     out.append(max_budget)
     return out
+
+
+# -- parallel experiment running ---------------------------------------------
+
+
+def _init_experiment_worker() -> None:
+    """Worker initializer: share scenario builds within the worker.
+
+    Several experiments construct the same preset world (same seed, same
+    size); inside one worker process the preset cache makes the second and
+    later constructions free.
+    """
+    from repro.scenario import enable_preset_cache
+
+    enable_preset_cache()
+
+
+def _run_experiment_task(name: str) -> Tuple[str, "ExperimentResult", Dict[str, Any]]:
+    """Run one experiment in a worker; ship its result + perf snapshot home."""
+    from repro.experiments import ALL_EXPERIMENTS
+    from repro.perf import PERF
+
+    result = ALL_EXPERIMENTS[name]()
+    return name, result, PERF.snapshot()
+
+
+def run_experiments_parallel(
+    experiment_ids: Sequence[str],
+    jobs: Optional[int] = None,
+) -> Dict[str, "ExperimentResult"]:
+    """Run registered experiments, fanned out across worker processes.
+
+    ``jobs=None`` uses one worker per experiment up to the CPU count;
+    ``jobs<=1`` degrades to a plain serial loop in this process.  Results
+    come back keyed by experiment id, in the order requested.  Worker perf
+    counters (cache hit rates, marginal-evaluation counts) are merged into
+    this process's :data:`repro.perf.PERF` registry so reports reflect the
+    whole run, not just the parent.
+
+    Experiments are independent by construction (each builds its own world
+    from explicit seeds), which is what makes process-level parallelism
+    safe — no shared mutable state crosses the fork.
+    """
+    from repro.experiments import ALL_EXPERIMENTS
+    from repro.perf import PERF
+
+    names = list(experiment_ids)
+    unknown = [name for name in names if name not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+    if jobs is None:
+        jobs = min(len(names), os.cpu_count() or 1)
+    if jobs <= 1 or len(names) <= 1:
+        return {name: ALL_EXPERIMENTS[name]() for name in names}
+    results: Dict[str, ExperimentResult] = {}
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=_init_experiment_worker
+    ) as pool:
+        futures = {pool.submit(_run_experiment_task, name): name for name in names}
+        for future in as_completed(futures):
+            name, result, perf_snapshot = future.result()
+            results[name] = result
+            PERF.merge(perf_snapshot)
+    return {name: results[name] for name in names}
 
 
 def config_prefix_subset(config, k: int):

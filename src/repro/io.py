@@ -24,20 +24,25 @@ _MODEL_KIND = "painter-routing-model"
 _LEARNING_KIND = "painter-learning-result"
 _EXPERIMENT_KIND = "painter-experiment-result"
 _FORMAT_VERSION = 1
+#: Routing-model documents grew outcomes + counters in version 2; version 1
+#: files (preferences only) still load.
+_MODEL_FORMAT_VERSION = 2
 
 
 class SerializationError(ValueError):
     """Raised for malformed or mismatched documents."""
 
 
-def _check_header(document: Dict[str, Any], kind: str) -> None:
+def _check_header(
+    document: Dict[str, Any], kind: str, versions: tuple = (_FORMAT_VERSION,)
+) -> None:
     if not isinstance(document, dict):
         raise SerializationError("document must be a JSON object")
     if document.get("kind") != kind:
         raise SerializationError(
             f"expected kind {kind!r}, got {document.get('kind')!r}"
         )
-    if document.get("version") != _FORMAT_VERSION:
+    if document.get("version") not in versions:
         raise SerializationError(f"unsupported version {document.get('version')!r}")
 
 
@@ -183,27 +188,38 @@ def load_experiment_result(path: PathLike) -> ExperimentResult:
 
 
 def routing_model_to_dict(model: RoutingModel) -> Dict[str, Any]:
+    snapshot = model.snapshot_preferences()
     return {
         "kind": _MODEL_KIND,
-        "version": _FORMAT_VERSION,
+        "version": _MODEL_FORMAT_VERSION,
         "d_reuse_km": model.d_reuse_km,
         "preferences": {
             str(ug_id): sorted(
                 [list(pair) + [sorted(context)] for pair, context in pairs.items()]
             )
-            for ug_id, pairs in model.snapshot_preferences().items()
+            for ug_id, pairs in snapshot["preferences"].items()
         },
+        "outcomes": sorted(
+            [int(ug_id), sorted(int(p) for p in compliant), int(actual)]
+            for (ug_id, compliant), actual in snapshot["outcomes"].items()
+        ),
+        "observation_count": snapshot["observation_count"],
+        "stale_observation_count": snapshot["stale_observation_count"],
     }
 
 
 def restore_routing_model(model: RoutingModel, document: Dict[str, Any]) -> None:
-    """Load saved preferences into an existing model (catalog-bound)."""
-    _check_header(document, _MODEL_KIND)
+    """Load saved learned state into an existing model (catalog-bound).
+
+    Accepts both version-2 documents (preferences + outcome memory +
+    counters) and legacy version-1 documents (preferences only).
+    """
+    _check_header(document, _MODEL_KIND, versions=(1, _MODEL_FORMAT_VERSION))
     preferences = document.get("preferences")
     if not isinstance(preferences, dict):
         raise SerializationError("missing 'preferences' mapping")
     try:
-        snapshot = {
+        preference_state = {
             int(ug_id): {
                 (int(w), int(l)): frozenset(int(a) for a in context)
                 for w, l, context in pairs
@@ -212,7 +228,22 @@ def restore_routing_model(model: RoutingModel, document: Dict[str, Any]) -> None
         }
     except (TypeError, ValueError) as exc:
         raise SerializationError(f"bad preference pairs: {exc}") from exc
-    model.restore_preferences(snapshot)
+    try:
+        outcomes = {
+            (int(ug_id), frozenset(int(p) for p in compliant)): int(actual)
+            for ug_id, compliant, actual in document.get("outcomes", [])
+        }
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"bad outcome entries: {exc}") from exc
+    model.restore_preferences(
+        {
+            "version": 2,
+            "preferences": preference_state,
+            "outcomes": outcomes,
+            "observation_count": int(document.get("observation_count", 0)),
+            "stale_observation_count": int(document.get("stale_observation_count", 0)),
+        }
+    )
 
 
 def save_routing_model(model: RoutingModel, path: PathLike) -> None:

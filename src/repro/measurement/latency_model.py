@@ -68,6 +68,14 @@ class LatencyModel:
     def __init__(self, config: Optional[LatencyModelConfig] = None) -> None:
         self._config = config or LatencyModelConfig()
         self._cache: Dict[Tuple[int, int, int], float] = {}
+        # Component memos.  Each static component depends on far fewer keys
+        # than there are (UG, peering) pairs — last mile on the UG alone,
+        # inflation on the AS pair, propagation on the (UG, PoP) pair — so
+        # caching them skips most of the per-pair RNG seeding during a bulk
+        # latency-matrix fill without changing a single returned value.
+        self._last_mile_memo: Dict[Tuple[int, str], float] = {}
+        self._inflation_memo: Dict[Tuple[int, int, bool], float] = {}
+        self._propagation_memo: Dict[Tuple[int, str], float] = {}
 
     @property
     def config(self) -> LatencyModelConfig:
@@ -79,21 +87,39 @@ class LatencyModel:
     # -- static components ---------------------------------------------------
 
     def last_mile_ms(self, ug: UserGroup) -> float:
-        rng = self._rng("last-mile", ug.asn, ug.metro.name)
-        return rng.uniform(self._config.last_mile_min_ms, self._config.last_mile_max_ms)
+        key = (ug.asn, ug.metro.name)
+        value = self._last_mile_memo.get(key)
+        if value is None:
+            rng = self._rng("last-mile", *key)
+            value = rng.uniform(
+                self._config.last_mile_min_ms, self._config.last_mile_max_ms
+            )
+            self._last_mile_memo[key] = value
+        return value
 
     def inflation_penalty_ms(self, ug: UserGroup, peering: Peering) -> float:
         """Hidden intra-AS inflation for this (UG AS, peer AS) pair."""
         cfg = self._config
-        rng = self._rng("inflate", ug.asn, peering.peer_asn)
-        prob = cfg.inflation_prob_transit if peering.is_transit else cfg.inflation_prob_peer
-        if rng.random() < prob:
-            return rng.uniform(cfg.inflation_min_ms, cfg.inflation_max_ms)
-        return rng.uniform(0.0, cfg.base_wiggle_ms)
+        key = (ug.asn, peering.peer_asn, peering.is_transit)
+        value = self._inflation_memo.get(key)
+        if value is None:
+            rng = self._rng("inflate", ug.asn, peering.peer_asn)
+            prob = cfg.inflation_prob_transit if peering.is_transit else cfg.inflation_prob_peer
+            if rng.random() < prob:
+                value = rng.uniform(cfg.inflation_min_ms, cfg.inflation_max_ms)
+            else:
+                value = rng.uniform(0.0, cfg.base_wiggle_ms)
+            self._inflation_memo[key] = value
+        return value
 
     def propagation_ms(self, ug: UserGroup, peering: Peering) -> float:
-        distance = haversine_km(ug.location, peering.pop.location)
-        return fiber_rtt_ms(distance)
+        key = (ug.ug_id, peering.pop.name)
+        value = self._propagation_memo.get(key)
+        if value is None:
+            distance = haversine_km(ug.location, peering.pop.location)
+            value = fiber_rtt_ms(distance)
+            self._propagation_memo[key] = value
+        return value
 
     # -- day-varying components (Fig. 7) -------------------------------------
 

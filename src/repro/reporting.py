@@ -66,25 +66,43 @@ def build_report(
 def run_and_report(
     experiment_ids: Optional[Iterable[str]] = None,
     max_rows_per_table: Optional[int] = 40,
+    jobs: int = 1,
+    include_perf: bool = True,
     **experiment_kwargs,
 ) -> str:
     """Run (a subset of) the registered experiments and render the report.
 
     ``experiment_kwargs`` are forwarded to every experiment that accepts
-    them (commonly ``scenario=`` for sized-down runs).
+    them (commonly ``scenario=`` for sized-down runs).  ``jobs > 1`` fans
+    the experiments out over worker processes via
+    :func:`repro.experiments.harness.run_experiments_parallel`; custom
+    ``experiment_kwargs`` force a serial run (workers invoke experiments
+    with their defaults).  With ``include_perf`` the report ends with the
+    run's performance counters (cache hit rates, marginal evaluations),
+    merged across workers.
     """
     import inspect
 
     from repro.experiments import ALL_EXPERIMENTS
+    from repro.perf import PERF
 
     requested = list(experiment_ids) if experiment_ids is not None else list(ALL_EXPERIMENTS)
     unknown = [name for name in requested if name not in ALL_EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiments: {unknown}")
     results: List[ExperimentResult] = []
-    for name in requested:
-        func = ALL_EXPERIMENTS[name]
-        accepted = inspect.signature(func).parameters
-        kwargs = {k: v for k, v in experiment_kwargs.items() if k in accepted}
-        results.append(func(**kwargs))
-    return build_report(results, max_rows_per_table=max_rows_per_table)
+    if jobs > 1 and not experiment_kwargs:
+        from repro.experiments.harness import run_experiments_parallel
+
+        by_name = run_experiments_parallel(requested, jobs=jobs)
+        results = [by_name[name] for name in requested]
+    else:
+        for name in requested:
+            func = ALL_EXPERIMENTS[name]
+            accepted = inspect.signature(func).parameters
+            kwargs = {k: v for k, v in experiment_kwargs.items() if k in accepted}
+            results.append(func(**kwargs))
+    report = build_report(results, max_rows_per_table=max_rows_per_table)
+    if include_perf:
+        report = report + "\n" + PERF.to_markdown()
+    return report

@@ -27,10 +27,14 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 from repro.bgp.route import Route
 from repro.bgp.simulator import BGPSimulator
 from repro.measurement.latency_model import LatencyModel
+from repro.perf import PERF
 from repro.topology.builder import CLOUD_ASN, Topology
 from repro.topology.cloud import Peering
 from repro.topology.geo import haversine_km
 from repro.usergroups.usergroup import UserGroup
+
+#: Marks a memo slot that has not been computed (``None`` means "no route").
+_UNSET = object()
 
 
 class GroundTruthRouting:
@@ -54,6 +58,17 @@ class GroundTruthRouting:
         self._exit_policy_cache: Dict[int, bool] = {}
         self._exit_rank_cache: Dict[int, Dict[str, float]] = {}
         self._all_peering_ids = frozenset(p.peering_id for p in topology.deployment.peerings)
+        # Routing here is deterministic and the oracle is immutable, so the
+        # full decision (layers 1+2) memoizes per (UG, advertised set) and
+        # the chosen latency per (UG, advertised set, day) — shared by
+        # execute_and_observe, realized_benefit, and best_prefix_choices,
+        # which all query identical sets.
+        self._group_cache: Dict[FrozenSet[int], Dict[int, List[Peering]]] = {}
+        self._ingress_cache: Dict[Tuple[int, FrozenSet[int]], Optional[int]] = {}
+        self._latency_cache: Dict[Tuple[int, FrozenSet[int], int], Optional[float]] = {}
+        self._ingress_stats = PERF.cache("ground_truth.ingress")
+        self._latency_stats = PERF.cache("ground_truth.latency")
+        self._propagation_stats = PERF.cache("ground_truth.propagation")
 
     @property
     def topology(self) -> Topology:
@@ -73,8 +88,11 @@ class GroundTruthRouting:
     def _routes_for(self, peer_asns: FrozenSet[int]) -> Dict[int, Route]:
         cached = self._propagation_cache.get(peer_asns)
         if cached is None:
+            self._propagation_stats.misses += 1
             cached = self._sim.propagate("prefix", sorted(peer_asns))
             self._propagation_cache[peer_asns] = cached
+        else:
+            self._propagation_stats.hits += 1
         return cached
 
     def _entering_asn(self, ug: UserGroup, peer_asns: FrozenSet[int]) -> Optional[int]:
@@ -149,18 +167,41 @@ class GroundTruthRouting:
         deployment = self._topology.deployment
         return [deployment.peering(pid) for pid in advertised]
 
+    def _grouped(self, advertised: FrozenSet[int]) -> Dict[int, List[Peering]]:
+        by_asn = self._group_cache.get(advertised)
+        if by_asn is None:
+            by_asn = {}
+            for peering in self._resolve(advertised):
+                by_asn.setdefault(peering.peer_asn, []).append(peering)
+            self._group_cache[advertised] = by_asn
+        return by_asn
+
     def ingress_for(self, ug: UserGroup, advertised: Iterable[int]) -> Optional[Peering]:
         """The peering ``ug``'s traffic actually enters through, or ``None``.
 
         ``advertised`` is the set of peering ids a single prefix is announced
         via.  ``None`` means the UG has no route to that prefix.
         """
-        peerings = self._resolve(advertised)
-        if not peerings:
+        if not isinstance(advertised, frozenset):
+            advertised = frozenset(advertised)
+        key = (ug.ug_id, advertised)
+        cached = self._ingress_cache.get(key, _UNSET)
+        if cached is not _UNSET:
+            self._ingress_stats.hits += 1
+            if cached is None:
+                return None
+            return self._topology.deployment.peering(cached)
+        self._ingress_stats.misses += 1
+        ingress = self._ingress_for_uncached(ug, advertised)
+        self._ingress_cache[key] = None if ingress is None else ingress.peering_id
+        return ingress
+
+    def _ingress_for_uncached(
+        self, ug: UserGroup, advertised: FrozenSet[int]
+    ) -> Optional[Peering]:
+        if not advertised:
             return None
-        by_asn: Dict[int, List[Peering]] = {}
-        for peering in peerings:
-            by_asn.setdefault(peering.peer_asn, []).append(peering)
+        by_asn = self._grouped(advertised)
         entering = self._entering_asn(ug, frozenset(by_asn))
         if entering is None:
             return None
@@ -170,10 +211,18 @@ class GroundTruthRouting:
         self, ug: UserGroup, advertised: Iterable[int], day: int = 0
     ) -> Optional[float]:
         """True latency via the actually-chosen ingress; ``None`` if no route."""
+        if not isinstance(advertised, frozenset):
+            advertised = frozenset(advertised)
+        key = (ug.ug_id, advertised, day)
+        cached = self._latency_cache.get(key, _UNSET)
+        if cached is not _UNSET:
+            self._latency_stats.hits += 1
+            return cached
+        self._latency_stats.misses += 1
         ingress = self.ingress_for(ug, advertised)
-        if ingress is None:
-            return None
-        return self._model.latency_ms(ug, ingress, day=day)
+        value = None if ingress is None else self._model.latency_ms(ug, ingress, day=day)
+        self._latency_cache[key] = value
+        return value
 
     # -- anycast (the default configuration D) ---------------------------------
 

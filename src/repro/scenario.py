@@ -123,8 +123,47 @@ def build_scenario(
     )
 
 
+# -- preset build caching -----------------------------------------------------
+#
+# Scenario construction (topology + BGP-ready graph + UG population) is the
+# expensive shared step when many experiments run in one process.  The cache
+# is OPT-IN: worlds are shared only after enable_preset_cache(), because
+# sharing is a semantic choice (deterministic internal caches are shared
+# too).  The parallel experiment runner enables it per worker process.
+
+_preset_cache_enabled = False
+_preset_cache: Dict[tuple, Scenario] = {}
+
+
+def enable_preset_cache(enabled: bool = True) -> None:
+    """Share identically-parameterized preset worlds within this process."""
+    global _preset_cache_enabled
+    _preset_cache_enabled = enabled
+    if not enabled:
+        _preset_cache.clear()
+
+
+def clear_preset_cache() -> None:
+    _preset_cache.clear()
+
+
+def _maybe_cached(key: tuple, factory) -> Scenario:
+    if not _preset_cache_enabled:
+        return factory()
+    cached = _preset_cache.get(key)
+    if cached is None:
+        cached = _preset_cache[key] = factory()
+    return cached
+
+
 def prototype_scenario(seed: int = 0, n_ugs: int = 400) -> Scenario:
     """PEERING/Vultr-prototype scale: 25 PoPs, a few hundred neighbor ASes."""
+    return _maybe_cached(
+        ("prototype", seed, n_ugs), lambda: _build_prototype(seed, n_ugs)
+    )
+
+
+def _build_prototype(seed: int, n_ugs: int) -> Scenario:
     return build_scenario(
         name="prototype",
         topology_config=TopologyConfig(
@@ -141,6 +180,10 @@ def prototype_scenario(seed: int = 0, n_ugs: int = 400) -> Scenario:
 
 def azure_scenario(seed: int = 0, n_ugs: int = 1200) -> Scenario:
     """Azure-like scale: more PoPs and far more peerings per PoP."""
+    return _maybe_cached(("azure", seed, n_ugs), lambda: _build_azure(seed, n_ugs))
+
+
+def _build_azure(seed: int, n_ugs: int) -> Scenario:
     return build_scenario(
         name="azure-like",
         topology_config=TopologyConfig(
@@ -158,6 +201,10 @@ def azure_scenario(seed: int = 0, n_ugs: int = 1200) -> Scenario:
 
 def tiny_scenario(seed: int = 0, n_ugs: int = 60) -> Scenario:
     """Small world for fast unit tests."""
+    return _maybe_cached(("tiny", seed, n_ugs), lambda: _build_tiny(seed, n_ugs))
+
+
+def _build_tiny(seed: int, n_ugs: int) -> Scenario:
     return build_scenario(
         name="tiny",
         topology_config=TopologyConfig(

@@ -78,7 +78,10 @@ class IngressCatalog:
 
     def compliant_subset(self, ug: UserGroup, peering_ids: Iterable[int]) -> FrozenSet[int]:
         """The subset of ``peering_ids`` that are policy-compliant for ``ug``."""
-        return self.ingress_ids(ug) & frozenset(peering_ids)
+        ids = self.ingress_ids(ug)
+        if isinstance(peering_ids, (set, frozenset)):
+            return ids & peering_ids  # hot path: no intermediate frozenset
+        return ids & frozenset(peering_ids)
 
     def coverage_stats(self) -> Mapping[str, float]:
         """Summary statistics used in tests and the scaling experiments."""

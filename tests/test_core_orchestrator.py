@@ -133,13 +133,15 @@ class TestAgainstBaselines:
 
         budget = 4
         orchestrator = PainterOrchestrator(scenario_module, prefix_budget=budget)
-        result = orchestrator.learn(iterations=3)
+        result = orchestrator.learn(iterations=5)
         painter = result.final_config  # deploy the best measured config
         painter_benefit = realized_benefit(scenario_module, painter)
         for baseline in (one_per_peering, one_per_pop):
             other = realized_benefit(scenario_module, baseline(scenario_module, budget))
             # The baseline builders rank candidates with *oracle* latencies
-            # (maximally generous); PAINTER works from its routing model, so
+            # (maximally generous); PAINTER works from its routing model and
+            # needs a few observation rounds to pin down ground-truth
+            # preferences among the denser configs the exact greedy picks, so
             # allow a small oracle advantage on this tiny world.  At
             # realistic scales PAINTER dominates outright (Fig. 6 benches).
             assert painter_benefit >= 0.95 * other

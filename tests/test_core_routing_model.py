@@ -161,8 +161,11 @@ class TestLearning:
         advertised = frozenset(_compliant_sample(scenario, ug, k=3))
         model.observe(ug, advertised, sorted(advertised)[0])
         snapshot = model.snapshot_preferences()
-        assert ug.ug_id in snapshot
-        assert len(snapshot[ug.ug_id]) == model.preference_count(ug)
+        assert snapshot["version"] == 2
+        assert ug.ug_id in snapshot["preferences"]
+        assert len(snapshot["preferences"][ug.ug_id]) == model.preference_count(ug)
+        assert snapshot["observation_count"] == 1
+        assert snapshot["outcomes"]  # probability-1 memory carried along
 
 
 class TestStaleObservations:
@@ -182,9 +185,9 @@ class TestStaleObservations:
         advertised = frozenset(_compliant_sample(scenario, ug, k=3))
         first, second = sorted(advertised)[:2]
         model.observe(ug, advertised, first)
-        before = model.snapshot_preferences()[ug.ug_id]
+        before = model.snapshot_preferences()["preferences"][ug.ug_id]
         learned = model.observe(ug, advertised, second, stale=True)
-        after = model.snapshot_preferences()[ug.ug_id]
+        after = model.snapshot_preferences()["preferences"][ug.ug_id]
         # Every fresh pair survives; the stale winner only adds pairs that
         # no fresh (or reversed) pair already disputes.
         assert set(before) <= set(after)
@@ -200,3 +203,112 @@ class TestStaleObservations:
         assert learned == len(scenario.catalog.compliant_subset(ug, advertised)) - 1
         assert model.observation_count == 0
         assert model.stale_observation_count == 1
+
+
+class TestSnapshotRoundTrip:
+    """The versioned snapshot must carry the full learned state (§5.1.3)."""
+
+    def _trained_model(self, scenario):
+        model = RoutingModel(scenario.catalog)
+        for ug in scenario.user_groups[:10]:
+            ids = sorted(scenario.catalog.ingress_ids(ug))
+            model.observe(ug, frozenset(ids[:4]), ids[1])
+            model.observe(ug, frozenset(ids[:3]), ids[0], stale=True)
+        return model
+
+    def test_round_trip_preserves_candidate_ingresses(self, scenario):
+        """The headline §5.1.3 property: predictions survive persistence,
+        including the probability-1 outcome memory the old snapshot lost."""
+        model = self._trained_model(scenario)
+        fresh = RoutingModel(scenario.catalog)
+        fresh.restore_preferences(model.snapshot_preferences())
+        for ug in scenario.user_groups[:20]:
+            ids = sorted(scenario.catalog.ingress_ids(ug))
+            for advertised in (frozenset(ids[:4]), frozenset(ids[:3]), frozenset(ids)):
+                assert fresh.candidate_ingresses(ug, advertised) == (
+                    model.candidate_ingresses(ug, advertised)
+                ), (ug.ug_id, advertised)
+
+    def test_round_trip_preserves_counters_and_outcomes(self, scenario):
+        model = self._trained_model(scenario)
+        fresh = RoutingModel(scenario.catalog)
+        fresh.restore_preferences(model.snapshot_preferences())
+        assert fresh.observation_count == model.observation_count
+        assert fresh.stale_observation_count == model.stale_observation_count
+        assert fresh.snapshot_preferences() == model.snapshot_preferences()
+
+    def test_outcome_memory_survives_where_old_format_lost_it(self, scenario):
+        """A restored model keeps the probability-1 prediction; the legacy
+        preferences-only snapshot degrades it to a preference-based one."""
+        model = RoutingModel(scenario.catalog)
+        ug = scenario.user_groups[0]
+        ids = sorted(scenario.catalog.ingress_ids(ug))
+        advertised = frozenset(ids[:4])
+        winner = ids[2]
+        model.observe(ug, advertised, winner)
+        assert model.candidate_ingresses(ug, advertised) == frozenset({winner})
+
+        restored = RoutingModel(scenario.catalog)
+        restored.restore_preferences(model.snapshot_preferences())
+        assert restored.candidate_ingresses(ug, advertised) == frozenset({winner})
+
+    def test_legacy_snapshot_still_accepted(self, scenario):
+        model = self._trained_model(scenario)
+        legacy = model.snapshot_preferences()["preferences"]  # old bare shape
+        fresh = RoutingModel(scenario.catalog)
+        fresh.restore_preferences(legacy)
+        assert fresh.preference_count() == model.preference_count()
+        assert fresh.observation_count == 0  # legacy snapshots never had it
+        assert fresh.snapshot_preferences()["outcomes"] == {}
+
+    def test_unsupported_version_rejected(self, scenario):
+        fresh = RoutingModel(scenario.catalog)
+        with pytest.raises(ValueError):
+            fresh.restore_preferences({"version": 99, "preferences": {}})
+
+
+class TestCandidateMemoization:
+    """candidate_ingresses memoizes per (UG, compliant set) and observe()
+    invalidates exactly the observed UG's entries."""
+
+    def test_memo_returns_identical_results(self, scenario, model):
+        for ug in scenario.user_groups[:10]:
+            advertised = frozenset(_compliant_sample(scenario, ug, k=5))
+            first = model.candidate_ingresses(ug, advertised)
+            second = model.candidate_ingresses(ug, advertised)
+            assert first == second
+            assert second is model.candidate_ingresses(ug, advertised)  # cached object
+
+    def test_observe_invalidates_memoized_candidates(self, scenario, model):
+        # Pick a UG whose pruned candidate set has several members, so the
+        # observation visibly collapses it.
+        for ug in scenario.user_groups:
+            advertised = frozenset(_compliant_sample(scenario, ug, k=4))
+            before = model.candidate_ingresses(ug, advertised)
+            if len(before) > 1:
+                break
+        assert len(before) > 1  # uniform assumption: several candidates
+        winner = sorted(before)[-1]
+        epoch_before = model.ug_epoch(ug.ug_id)
+        model.observe(ug, advertised, winner)
+        assert model.ug_epoch(ug.ug_id) > epoch_before
+        after = model.candidate_ingresses(ug, advertised)
+        assert after == frozenset({winner})  # not the stale cached set
+
+    def test_observe_leaves_other_ugs_cached(self, scenario, model):
+        ug_a, ug_b = scenario.user_groups[0], scenario.user_groups[1]
+        adv_b = frozenset(_compliant_sample(scenario, ug_b, k=4))
+        cached_b = model.candidate_ingresses(ug_b, adv_b)
+        epoch_b = model.ug_epoch(ug_b.ug_id)
+        adv_a = frozenset(_compliant_sample(scenario, ug_a, k=4))
+        model.observe(ug_a, adv_a, sorted(adv_a)[0])
+        assert model.ug_epoch(ug_b.ug_id) == epoch_b
+        assert model.candidate_ingresses(ug_b, adv_b) is cached_b
+
+    def test_restore_invalidates_every_ug(self, scenario, model):
+        ug = scenario.user_groups[0]
+        advertised = frozenset(_compliant_sample(scenario, ug, k=4))
+        model.candidate_ingresses(ug, advertised)
+        epoch = model.ug_epoch(ug.ug_id)
+        model.restore_preferences({"version": 2, "preferences": {}, "outcomes": {}})
+        assert model.ug_epoch(ug.ug_id) > epoch

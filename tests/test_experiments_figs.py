@@ -163,8 +163,14 @@ class TestFig15:
     def test_d_reuse_tradeoff(self, world):
         result = run_fig15b(scenario=world, d_reuse_sweep_km=(500, 3000), max_budget=5)
         reuse = result.column("reuse_factor")
-        # Larger D_reuse must not increase prefix reuse.
-        assert reuse[-1] <= reuse[0] + 1e-9
+        needed = result.column("prefixes_99pct")
+        # Reuse always happens (that is the point of Algorithm 1)...
+        assert all(r >= 1.0 for r in reuse)
+        # ...but a larger D_reuse treats more co-advertised ingresses as
+        # plausible destinations, which dilutes each prefix's expected
+        # benefit and spreads the gains across more prefixes: reaching 99%
+        # of the final benefit must not get *cheaper* as D_reuse grows.
+        assert needed[0] <= needed[-1]
 
 
 class TestChaos:

@@ -105,3 +105,38 @@ class TestExperimentsCliPlotting:
         monkeypatch.setattr(cli, "ALL_EXPERIMENTS", {"figY": fake_experiment})
         assert cli.main(["figY"]) == 0
         assert "legend" not in capsys.readouterr().out
+
+
+class TestParallelRunner:
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments.harness import run_experiments_parallel
+
+        with pytest.raises(KeyError):
+            run_experiments_parallel(["no-such-experiment"], jobs=1)
+
+    def test_parallel_matches_serial(self):
+        """Workers must return exactly what an in-process run produces.
+
+        Experiments build their worlds from explicit seeds, so fanning them
+        across processes must not change a single row.
+        """
+        from repro.experiments.harness import run_experiments_parallel
+
+        names = ["fig3", "fig8"]
+        serial = run_experiments_parallel(names, jobs=1)
+        parallel = run_experiments_parallel(names, jobs=2)
+        assert list(parallel) == names  # requested order preserved
+        for name in names:
+            assert parallel[name].columns == serial[name].columns
+            assert parallel[name].rows == serial[name].rows
+
+    def test_parallel_merges_worker_perf_counters(self):
+        from repro.experiments.harness import run_experiments_parallel
+        from repro.perf import PERF
+
+        PERF.reset()
+        # fig15a solves Algorithm 1 in its worker; fig3 is pure measurement.
+        run_experiments_parallel(["fig3", "fig15a"], jobs=2)
+        # The workers' counters must have been folded into this process's
+        # registry even though no solve ran here.
+        assert PERF.counter("orchestrator.solve_calls").value > 0
