@@ -8,7 +8,7 @@
 """
 
 from repro.core.benefit import realized_benefit
-from repro.core.orchestrator import PainterOrchestrator
+from repro.core.orchestrator import OrchestratorConfig, PainterOrchestrator
 
 
 def test_bench_ablation_prefix_reuse(benchmark, bench_scenario):
@@ -20,11 +20,11 @@ def test_bench_ablation_prefix_reuse(benchmark, bench_scenario):
         # describes); after a few iterations the model knows where reuse is
         # safe.  Both arms get the same learning budget.
         with_orch = PainterOrchestrator(
-            bench_scenario, prefix_budget=budget, allow_reuse=True
+            bench_scenario, OrchestratorConfig(prefix_budget=budget, allow_reuse=True)
         )
         with_orch.learn(iterations=3)
         without_orch = PainterOrchestrator(
-            bench_scenario, prefix_budget=budget, allow_reuse=False
+            bench_scenario, OrchestratorConfig(prefix_budget=budget, allow_reuse=False)
         )
         without_orch.learn(iterations=3)
         return with_orch.solve(), without_orch.solve()
@@ -46,7 +46,7 @@ def test_bench_ablation_prefix_reuse(benchmark, bench_scenario):
 
 def test_bench_ablation_learning(benchmark, bench_scenario):
     def run():
-        orchestrator = PainterOrchestrator(bench_scenario, prefix_budget=8)
+        orchestrator = PainterOrchestrator(bench_scenario, OrchestratorConfig(prefix_budget=8))
         return orchestrator.learn(iterations=4)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -69,7 +69,7 @@ def test_bench_ablation_estimated_vs_mean(benchmark, bench_scenario):
     def run():
         from repro.core.baselines import one_per_pop
 
-        orchestrator = PainterOrchestrator(bench_scenario, prefix_budget=8)
+        orchestrator = PainterOrchestrator(bench_scenario, OrchestratorConfig(prefix_budget=8))
         config = orchestrator.solve()
         painter_eval = orchestrator.evaluator.evaluate(config)
         pop_eval = orchestrator.evaluator.evaluate(

@@ -1,6 +1,6 @@
 """Bench: the enterprise/SLO workload (the paper's §1-§2 motivation)."""
 
-from repro.core.orchestrator import PainterOrchestrator
+from repro.core.orchestrator import OrchestratorConfig, PainterOrchestrator
 from repro.enterprise import (
     EnterpriseConfig,
     analyze_slos,
@@ -15,7 +15,7 @@ def test_bench_enterprise_slo(benchmark, bench_scenario):
         enterprise = build_enterprise(
             bench_scenario, EnterpriseConfig(seed=3, n_branches=5)
         )
-        orchestrator = PainterOrchestrator(bench_scenario, prefix_budget=8)
+        orchestrator = PainterOrchestrator(bench_scenario, OrchestratorConfig(prefix_budget=8))
         orchestrator.learn(iterations=2)
         config = orchestrator.solve()
         outcomes = analyze_slos(bench_scenario, enterprise, config)

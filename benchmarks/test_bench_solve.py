@@ -13,7 +13,7 @@ import json
 import time
 from pathlib import Path
 
-from repro.core.orchestrator import PainterOrchestrator
+from repro.core.orchestrator import OrchestratorConfig, PainterOrchestrator
 from repro.perf import PERF
 from repro.scenario import azure_scenario
 
@@ -31,9 +31,7 @@ def test_bench_solve_azure(benchmark):
 
     def run():
         PERF.reset()
-        orchestrator = PainterOrchestrator(
-            scenario, prefix_budget=golden["budget"]
-        )
+        orchestrator = PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=golden["budget"]))
         start = time.perf_counter()
         config = orchestrator.solve()
         return config, time.perf_counter() - start

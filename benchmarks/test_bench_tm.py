@@ -1,0 +1,69 @@
+"""Throughput gate for the batched Traffic Manager data plane.
+
+Pins the tentpole claim: on the azure preset, the vectorized
+:class:`VectorFlowTable` sustains at least 100k flows/s on *every* replay
+step while carrying one million concurrent flows.  A slow step anywhere in
+the run — admission, measurement fold-in, or the failover re-map — fails
+the gate, not just the average.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.replay import ReplayConfig, run_traffic_replay
+from repro.perf import PERF
+
+#: The ISSUE's acceptance floor: each step must admit at this rate or better.
+MIN_FLOWS_PER_S = 100_000.0
+
+#: Total arrivals across the run; all stay live, so this is also the
+#: concurrent-flow count the final step carries.
+TOTAL_FLOWS = 1_000_000
+
+STEPS = 5
+
+
+def test_bench_tm_azure(benchmark):
+    config = ReplayConfig(
+        preset="azure",
+        seed=0,
+        arrivals_per_step=TOTAL_FLOWS // STEPS,
+        steps=STEPS,
+        prefix_budget=4,
+        plane="vector",
+        fail_step=STEPS - 1,
+    )
+
+    def run():
+        PERF.reset()
+        return run_traffic_replay(config)
+
+    replay = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Scale: the run must actually reach a million concurrent flows.
+    assert replay.peak_live_flows >= TOTAL_FLOWS * 0.99, (
+        f"peak {replay.peak_live_flows:,} concurrent flows; "
+        f"expected ~{TOTAL_FLOWS:,}"
+    )
+
+    # Throughput: every step, including the failover one, beats the floor.
+    slowest = replay.min_flows_per_s
+    assert slowest >= MIN_FLOWS_PER_S, (
+        f"slowest step admitted {slowest:,.0f} flows/s; "
+        f"gate is {MIN_FLOWS_PER_S:,.0f}"
+    )
+
+    # The failover actually moved pinned flows off the dead prefix.
+    assert replay.failed_prefix is not None
+    assert replay.flows_remapped > 0
+    assert replay.failed_prefix not in replay.flows_by_destination
+
+    benchmark.extra_info["peak_live_flows"] = replay.peak_live_flows
+    benchmark.extra_info["total_admitted"] = replay.total_admitted
+    benchmark.extra_info["min_kflows_per_s"] = round(slowest / 1e3, 1)
+    benchmark.extra_info["flows_remapped"] = replay.flows_remapped
+    benchmark.extra_info["step_s"] = [
+        round(s.elapsed_s, 4) for s in replay.step_stats
+    ]
+    benchmark.extra_info["solve_s"] = round(
+        PERF.timer("replay.solve").total_s, 3
+    )

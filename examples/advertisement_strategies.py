@@ -10,7 +10,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import PainterOrchestrator, prototype_scenario
+from repro import OrchestratorConfig, PainterOrchestrator, prototype_scenario
 from repro.core.baselines import (
     one_per_peering,
     one_per_pop,
@@ -29,7 +29,7 @@ def main() -> None:
 
     budgets = (1, 2, 4, 8, 12)
 
-    orchestrator = PainterOrchestrator(scenario, prefix_budget=max(budgets))
+    orchestrator = PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=max(budgets)))
     orchestrator.learn(iterations=2)  # let the routing model converge a bit
     painter_full = orchestrator.solve()
 

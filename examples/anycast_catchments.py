@@ -12,7 +12,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import PainterOrchestrator, prototype_scenario
+from repro import OrchestratorConfig, PainterOrchestrator, prototype_scenario
 from repro.core.benefit import realized_improvement
 from repro.steering.catchment import CatchmentAnalysis
 
@@ -43,7 +43,7 @@ def main() -> None:
     )
 
     print("\nthe Figure 1 tail — farthest-hauled UGs, and what PAINTER recovers:")
-    orchestrator = PainterOrchestrator(scenario, prefix_budget=8)
+    orchestrator = PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=8))
     orchestrator.learn(iterations=2)
     config = orchestrator.solve()
     by_id = {ug.ug_id: ug for ug in scenario.user_groups}

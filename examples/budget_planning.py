@@ -12,7 +12,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import PainterOrchestrator, prototype_scenario
+from repro import OrchestratorConfig, PainterOrchestrator, prototype_scenario
 from repro.core.benefit import realized_benefit
 from repro.core.cost import configuration_cost, prefixes_saved_vs_one_per_peering
 from repro.experiments.harness import config_prefix_subset
@@ -25,7 +25,7 @@ def main() -> None:
     print(f"peerings: {len(scenario.deployment)}; "
           f"total possible benefit {possible:.1f} weighted-ms\n")
 
-    orchestrator = PainterOrchestrator(scenario, prefix_budget=16)
+    orchestrator = PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=16))
     orchestrator.learn(iterations=2)
     full = orchestrator.solve()
 

@@ -16,7 +16,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import PainterOrchestrator, tiny_scenario
+from repro import OrchestratorConfig, PainterOrchestrator, tiny_scenario
 from repro.experiments.chaos import ChaosConfig, ChaosHarness
 from repro.faults import FaultSchedule, LinkFlap, ObservationFaults, PopOutage
 from repro.traffic_manager.failover import FailoverConfig, default_fig10_paths, run_failover
@@ -56,7 +56,7 @@ def seeded_storms() -> None:
 
 def degraded_learning() -> None:
     scenario = tiny_scenario(seed=3)
-    orchestrator = PainterOrchestrator(scenario, prefix_budget=3)
+    orchestrator = PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=3))
     faults = ObservationFaults(missing_rate=0.30, stale_rate=0.10, seed=7)
     result = orchestrator.learn(iterations=3, faults=faults)
 

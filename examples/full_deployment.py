@@ -16,7 +16,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import PainterOrchestrator, prototype_scenario
+from repro import OrchestratorConfig, PainterOrchestrator, prototype_scenario
 from repro.core.installation import DEFAULT_SERVICE, install_configuration
 from repro.traffic_manager.flows import FiveTuple
 from repro.traffic_manager.tm_edge import TMEdge
@@ -26,7 +26,7 @@ def main() -> None:
     # 1. Optimize advertisements.
     scenario = prototype_scenario(seed=4, n_ugs=200)
     print(scenario.describe())
-    orchestrator = PainterOrchestrator(scenario, prefix_budget=8)
+    orchestrator = PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=8))
     orchestrator.learn(iterations=2)
     config = orchestrator.solve()
     print(f"computed {config}\n")

@@ -11,7 +11,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import PainterOrchestrator, prototype_scenario
+from repro import OrchestratorConfig, PainterOrchestrator, prototype_scenario
 from repro.core.benefit import realized_benefit
 from repro.experiments.harness import budget_grid, config_prefix_subset
 from repro.experiments.plotting import ascii_plot
@@ -22,7 +22,7 @@ def main() -> None:
     possible = scenario.total_possible_benefit()
     print(scenario.describe())
 
-    orchestrator = PainterOrchestrator(scenario, prefix_budget=12)
+    orchestrator = PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=12))
     learning = orchestrator.learn(iterations=4)
 
     budgets = budget_grid(12)

@@ -11,7 +11,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import PainterOrchestrator, prototype_scenario
+from repro import OrchestratorConfig, PainterOrchestrator, prototype_scenario
 from repro.core.benefit import realized_benefit
 
 
@@ -22,7 +22,7 @@ def main() -> None:
     possible = scenario.total_possible_benefit()
     print(f"total possible benefit (volume-weighted ms): {possible:.1f}\n")
 
-    orchestrator = PainterOrchestrator(scenario, prefix_budget=10)
+    orchestrator = PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=10))
     result = orchestrator.learn(iterations=3)
 
     print("learning iterations (Algorithm 1's outer loop):")

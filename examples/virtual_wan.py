@@ -13,7 +13,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import PainterOrchestrator, prototype_scenario
+from repro import OrchestratorConfig, PainterOrchestrator, prototype_scenario
 from repro.enterprise import (
     EnterpriseConfig,
     analyze_slos,
@@ -43,7 +43,7 @@ def main() -> None:
     for service, count in sorted(flows_by_service(flows).items()):
         print(f"  {service:<18} {count:>5} flows")
 
-    orchestrator = PainterOrchestrator(scenario, prefix_budget=8)
+    orchestrator = PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=8))
     orchestrator.learn(iterations=2)
     config = orchestrator.solve()
     outcomes = analyze_slos(scenario, enterprise, config)

@@ -8,18 +8,24 @@ workloads, DNS/TTL dynamics, and an SD-WAN comparator.
 
 Quickstart::
 
-    from repro import prototype_scenario, PainterOrchestrator
+    from repro import OrchestratorConfig, PainterOrchestrator, prototype_scenario
 
     scenario = prototype_scenario(seed=1)
-    orchestrator = PainterOrchestrator(scenario, prefix_budget=10)
+    orchestrator = PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=10))
     result = orchestrator.learn(iterations=3)
     print(result.realized_benefits)
+
+The steering half of the paper — the Traffic Manager — is also exposed here:
+:class:`TMEdge`/:class:`TMPoP` for the proxy nodes, :class:`FlowTable` (the
+scalar reference) and :class:`VectorFlowTable` (batched numpy columns for
+millions of flows) behind the common :class:`DataPlane` protocol.
 """
 
 from repro.core import (
     AdvertisementConfig,
     BenefitEvaluator,
     LearningResult,
+    OrchestratorConfig,
     PainterOrchestrator,
     RoutingModel,
     realized_benefit,
@@ -33,6 +39,16 @@ from repro.scenario import (
     prototype_scenario,
     tiny_scenario,
 )
+from repro.traffic_manager import (
+    DataPlane,
+    FiveTuple,
+    FlowBatch,
+    FlowTable,
+    ScalarDataPlane,
+    TMEdge,
+    TMPoP,
+    VectorFlowTable,
+)
 
 __version__ = "1.0.0"
 
@@ -40,13 +56,22 @@ __all__ = [
     "AdvertisementConfig",
     "audit_scenario",
     "BenefitEvaluator",
+    "DataPlane",
     "FaultInjector",
     "FaultSchedule",
+    "FiveTuple",
+    "FlowBatch",
+    "FlowTable",
     "LearningResult",
     "ObservationFaults",
+    "OrchestratorConfig",
     "PainterOrchestrator",
     "RoutingModel",
+    "ScalarDataPlane",
     "Scenario",
+    "TMEdge",
+    "TMPoP",
+    "VectorFlowTable",
     "azure_scenario",
     "build_scenario",
     "prototype_scenario",

@@ -8,7 +8,9 @@ Commands:
 * ``failover`` — run the Fig. 10 failover simulation;
 * ``chaos``    — run seeded random fault storms against every steering strategy;
 * ``validate`` — traceroute-validate the policy-compliance inference (§3.1);
-* ``perf``     — instrumented solve/learn: counters, timers, cache hit rates.
+* ``perf``     — instrumented solve/learn: counters, timers, cache hit rates;
+* ``tm-bench`` — drive Zipf-weighted UG flow arrivals through the batched
+  Traffic Manager data plane and report per-step steering throughput.
 
 Experiments have their own entry point: ``python -m repro.experiments``.
 """
@@ -60,11 +62,11 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 def cmd_solve(args: argparse.Namespace) -> int:
     from repro.core.cost import configuration_cost
-    from repro.core.orchestrator import PainterOrchestrator
+    from repro.core.orchestrator import OrchestratorConfig, PainterOrchestrator
 
     scenario = _scenario_from(args)
     orchestrator = PainterOrchestrator(
-        scenario, prefix_budget=args.budget, d_reuse_km=args.d_reuse
+        scenario, OrchestratorConfig(prefix_budget=args.budget, d_reuse_km=args.d_reuse)
     )
     result = orchestrator.learn(iterations=args.iterations)
     config = result.final_config
@@ -155,13 +157,13 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 def cmd_perf(args: argparse.Namespace) -> int:
     """Run an instrumented solve/learn and print the perf counters."""
-    from repro.core.orchestrator import PainterOrchestrator
+    from repro.core.orchestrator import OrchestratorConfig, PainterOrchestrator
     from repro.perf import PERF
 
     PERF.reset()
     scenario = _scenario_from(args)
     orchestrator = PainterOrchestrator(
-        scenario, prefix_budget=args.budget, d_reuse_km=args.d_reuse
+        scenario, OrchestratorConfig(prefix_budget=args.budget, d_reuse_km=args.d_reuse)
     )
     if args.iterations > 0:
         orchestrator.learn(iterations=args.iterations)
@@ -178,6 +180,43 @@ def cmd_perf(args: argparse.Namespace) -> int:
             f"laziness: {lazy} marginal evaluations vs {naive} for a naive "
             f"full-re-evaluation greedy ({100 * lazy / naive:.1f}%)"
         )
+    return 0
+
+
+def cmd_tm_bench(args: argparse.Namespace) -> int:
+    """Benchmark the Traffic Manager data plane under UG flow arrivals."""
+    from repro.experiments.replay import ReplayConfig, run_traffic_replay
+    from repro.perf import PERF
+
+    PERF.reset()
+    steps = args.steps
+    arrivals = max(1, args.flows // steps)
+    replay = run_traffic_replay(
+        ReplayConfig(
+            preset=args.preset,
+            seed=args.seed,
+            arrivals_per_step=arrivals,
+            steps=steps,
+            prefix_budget=args.budget,
+            plane=args.plane,
+            fail_step=args.fail_step,
+        )
+    )
+    print(replay.to_result().render())
+    print()
+    print(
+        f"plane={args.plane}: {replay.total_admitted:,} flows admitted over "
+        f"{steps} steps, peak {replay.peak_live_flows:,} concurrent, "
+        f"min {replay.min_flows_per_s / 1e3:,.0f} kflows/s per step"
+    )
+    if replay.flows_remapped:
+        print(
+            f"failover re-mapped {replay.flows_remapped:,} flows off "
+            f"{replay.failed_prefix}"
+        )
+    if args.show_perf:
+        print()
+        print(PERF.render())
     return 0
 
 
@@ -246,6 +285,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf.add_argument("--d-reuse", type=float, default=3000.0, help="D_reuse (km)")
     perf.set_defaults(func=cmd_perf)
+
+    tm_bench = sub.add_parser(
+        "tm-bench",
+        help="benchmark the batched Traffic Manager data plane",
+    )
+    tm_bench.add_argument(
+        "--preset", choices=sorted(_PRESETS), default="prototype",
+        help="scenario preset (default: prototype)",
+    )
+    tm_bench.add_argument("--seed", type=int, default=0, help="world seed")
+    tm_bench.add_argument(
+        "--flows", type=int, default=1_000_000,
+        help="total flow arrivals across the run (default: 1M)",
+    )
+    tm_bench.add_argument("--steps", type=int, default=5, help="measurement rounds")
+    tm_bench.add_argument("--budget", type=int, default=4, help="prefix budget")
+    tm_bench.add_argument(
+        "--plane", choices=("vector", "scalar"), default="vector",
+        help="data-plane implementation (default: vector)",
+    )
+    tm_bench.add_argument(
+        "--fail-step", type=int, default=None,
+        help="kill the hottest prefix at this step (0-based)",
+    )
+    tm_bench.add_argument(
+        "--show-perf", action="store_true", help="print the perf registry after"
+    )
+    tm_bench.set_defaults(func=cmd_tm_bench)
     return parser
 
 

@@ -31,6 +31,7 @@ from repro.core.orchestrator import (
     IterationRecord,
     LearningResult,
     ObservationReport,
+    OrchestratorConfig,
     PainterOrchestrator,
 )
 from repro.core.routing_model import DEFAULT_D_REUSE_KM, RoutingModel
@@ -55,6 +56,7 @@ __all__ = [
     "IterationRecord",
     "LearningResult",
     "ObservationReport",
+    "OrchestratorConfig",
     "PainterOrchestrator",
     "RoutingModel",
     "anycast_config",

@@ -21,8 +21,9 @@ from __future__ import annotations
 import heapq
 import logging
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -38,6 +39,87 @@ EPSILON_BENEFIT = 1e-9
 _DEBUG_CHECK = False  # cross-check vectorized marginals against the scalar path
 
 logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class OrchestratorConfig:
+    """Everything that parameterizes one :class:`PainterOrchestrator`.
+
+    Replaces the growing positional signature
+    (``prefix_budget, d_reuse_km, latency_of, allow_reuse``); construct with
+    ``PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=10))``.
+    """
+
+    #: Number of /24 prefixes Algorithm 1 may allocate (its budget, k).
+    prefix_budget: int
+    #: Geographic reuse distance for the routing model (Eq. 3).
+    d_reuse_km: float = DEFAULT_D_REUSE_KM
+    #: Latency oracle override; ``None`` uses the scenario's ground truth.
+    latency_of: Optional[LatencyFn] = None
+    #: Ablation knob: with reuse disabled each prefix is advertised via a
+    #: single peering, reducing Algorithm 1 to a greedy one-per-peering.
+    allow_reuse: bool = True
+
+    def __post_init__(self) -> None:
+        if self.prefix_budget < 1:
+            raise ValueError("prefix budget must be at least 1")
+        if self.d_reuse_km < 0:
+            raise ValueError("d_reuse_km must be non-negative")
+
+
+def _coerce_orchestrator_config(
+    config: Optional[Union[OrchestratorConfig, int]],
+    prefix_budget: Optional[int],
+    d_reuse_km: Optional[float],
+    latency_of: Optional[LatencyFn],
+    allow_reuse: Optional[bool],
+) -> OrchestratorConfig:
+    """Resolve the new-style config and the deprecated keyword form."""
+    legacy_used = any(
+        value is not None
+        for value in (prefix_budget, d_reuse_km, latency_of, allow_reuse)
+    )
+    if isinstance(config, OrchestratorConfig):
+        if legacy_used:
+            raise TypeError(
+                "pass either an OrchestratorConfig or the legacy keyword "
+                "arguments, not both"
+            )
+        return config
+    if isinstance(config, int):
+        # Legacy positional budget: PainterOrchestrator(scenario, 10).
+        warnings.warn(
+            "PainterOrchestrator(scenario, prefix_budget, ...) is deprecated; "
+            "use PainterOrchestrator(scenario, OrchestratorConfig(...))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if prefix_budget is not None:
+            raise TypeError("prefix budget given both positionally and by keyword")
+        prefix_budget = config
+    elif config is None:
+        if prefix_budget is None:
+            raise TypeError(
+                "PainterOrchestrator needs an OrchestratorConfig "
+                "(or the deprecated prefix_budget keyword)"
+            )
+        warnings.warn(
+            "the PainterOrchestrator(scenario, prefix_budget=..., ...) keyword "
+            "form is deprecated; use "
+            "PainterOrchestrator(scenario, OrchestratorConfig(...))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    else:
+        raise TypeError(f"config must be an OrchestratorConfig, not {type(config)!r}")
+    kwargs = {"prefix_budget": prefix_budget}
+    if d_reuse_km is not None:
+        kwargs["d_reuse_km"] = d_reuse_km
+    if latency_of is not None:
+        kwargs["latency_of"] = latency_of
+    if allow_reuse is not None:
+        kwargs["allow_reuse"] = allow_reuse
+    return OrchestratorConfig(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -171,22 +253,32 @@ class PainterOrchestrator:
     def __init__(
         self,
         scenario: Scenario,
-        prefix_budget: int,
-        d_reuse_km: float = DEFAULT_D_REUSE_KM,
-        latency_of: Optional[LatencyFn] = None,
+        config: Optional[Union[OrchestratorConfig, int]] = None,
+        *,
         model: Optional[RoutingModel] = None,
-        allow_reuse: bool = True,
+        prefix_budget: Optional[int] = None,
+        d_reuse_km: Optional[float] = None,
+        latency_of: Optional[LatencyFn] = None,
+        allow_reuse: Optional[bool] = None,
     ) -> None:
-        if prefix_budget < 1:
-            raise ValueError("prefix budget must be at least 1")
+        config = _coerce_orchestrator_config(
+            config,
+            prefix_budget=prefix_budget,
+            d_reuse_km=d_reuse_km,
+            latency_of=latency_of,
+            allow_reuse=allow_reuse,
+        )
         self._scenario = scenario
-        self._budget = prefix_budget
-        self._model = model or RoutingModel(scenario.catalog, d_reuse_km=d_reuse_km)
-        self._evaluator = BenefitEvaluator(scenario, self._model, latency_of=latency_of)
+        self._config = config
+        self._budget = config.prefix_budget
+        self._model = model or RoutingModel(
+            scenario.catalog, d_reuse_km=config.d_reuse_km
+        )
+        self._evaluator = BenefitEvaluator(
+            scenario, self._model, latency_of=config.latency_of
+        )
         self._affected: Dict[int, List[UserGroup]] = self._invert_catalog()
-        #: Ablation knob: with reuse disabled each prefix is advertised via a
-        #: single peering, reducing Algorithm 1 to a greedy one-per-peering.
-        self._allow_reuse = allow_reuse
+        self._allow_reuse = config.allow_reuse
         self.budget_curve: List[BudgetPoint] = []
         #: Freshest observation per (ug_id, prefix) — what a lagging
         #: collector replays when fault injection serves stale data.
@@ -214,6 +306,11 @@ class PainterOrchestrator:
     @property
     def prefix_budget(self) -> int:
         return self._budget
+
+    @property
+    def config(self) -> OrchestratorConfig:
+        """The resolved configuration this orchestrator runs under."""
+        return self._config
 
     def _invert_catalog(self) -> Dict[int, List[UserGroup]]:
         affected: Dict[int, List[UserGroup]] = {}

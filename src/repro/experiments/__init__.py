@@ -19,6 +19,12 @@ from repro.experiments.fig12 import run_fig12
 from repro.experiments.fig14 import run_fig14
 from repro.experiments.fig15 import run_fig15a, run_fig15b
 from repro.experiments.harness import ExperimentResult, budget_grid, config_prefix_subset
+from repro.experiments.replay import (
+    ReplayConfig,
+    ReplayResult,
+    run_replay,
+    run_traffic_replay,
+)
 
 ALL_EXPERIMENTS = {
     "chaos": run_chaos,
@@ -37,6 +43,7 @@ ALL_EXPERIMENTS = {
     "fig14": run_fig14,
     "fig15a": run_fig15a,
     "fig15b": run_fig15b,
+    "replay": run_replay,
     "ext_congestion": run_ext_congestion,
     "ext_egress": run_ext_egress,
     "ext_failover_sweep": run_ext_failover_sweep,
@@ -55,6 +62,10 @@ __all__ = [
     "run_ext_ipv6",
     "run_ext_multipath",
     "ExperimentResult",
+    "ReplayConfig",
+    "ReplayResult",
+    "run_replay",
+    "run_traffic_replay",
     "budget_grid",
     "config_prefix_subset",
     "failover_summary",

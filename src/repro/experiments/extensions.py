@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.core.orchestrator import PainterOrchestrator
+from repro.core.orchestrator import OrchestratorConfig, PainterOrchestrator
 from repro.experiments.harness import ExperimentResult
 from repro.scenario import Scenario
 from repro.traffic_manager.load_balancing import LoadAwareSelector, effective_latency_ms
@@ -27,7 +27,7 @@ from repro.traffic_manager.multipath import Subflow, failover_comparison
 def _exposed_destinations(scenario: Scenario, budget: int = 6) -> List[tuple]:
     """(prefix label, rtt_ms) destinations PAINTER exposes for the most
     inflation-suffering UG, anycast included."""
-    orchestrator = PainterOrchestrator(scenario, prefix_budget=budget)
+    orchestrator = PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=budget))
     orchestrator.learn(iterations=2)
     config = orchestrator.solve()
     ug = max(
@@ -208,7 +208,7 @@ def run_ext_egress(scenario: Optional[Scenario] = None) -> ExperimentResult:
         from repro.scenario import tiny_scenario
 
         scenario = tiny_scenario(seed=3)
-    orchestrator = PainterOrchestrator(scenario, prefix_budget=5)
+    orchestrator = PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=5))
     orchestrator.learn(iterations=2)
     config = orchestrator.solve()
     outcome = evaluate_coexistence(scenario, config)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.core.orchestrator import PainterOrchestrator
+from repro.core.orchestrator import OrchestratorConfig, PainterOrchestrator
 from repro.experiments.harness import ExperimentResult
 from repro.scenario import Scenario, build_scenario
 from repro.topology.builder import TopologyConfig
@@ -49,7 +49,8 @@ def _prefixes_for_targets(
     the metric isolates *how fast* the budget buys benefit.
     """
     orchestrator = PainterOrchestrator(
-        scenario, prefix_budget=max_budget, d_reuse_km=d_reuse_km
+        scenario,
+        OrchestratorConfig(prefix_budget=max_budget, d_reuse_km=d_reuse_km),
     )
     orchestrator.solve(record_curve=True)
     curve = orchestrator.budget_curve
@@ -105,7 +106,8 @@ def run_fig15b(
     total_possible = scenario.total_possible_benefit()
     for d_reuse in d_reuse_sweep_km:
         orchestrator = PainterOrchestrator(
-            scenario, prefix_budget=max_budget, d_reuse_km=d_reuse
+            scenario,
+            OrchestratorConfig(prefix_budget=max_budget, d_reuse_km=d_reuse),
         )
         config = orchestrator.solve(record_curve=True)
         curve = orchestrator.budget_curve

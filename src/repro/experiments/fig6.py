@@ -22,7 +22,7 @@ from repro.core.baselines import (
     regional_transit,
 )
 from repro.core.benefit import BenefitEvaluator, realized_improvement
-from repro.core.orchestrator import PainterOrchestrator
+from repro.core.orchestrator import OrchestratorConfig, PainterOrchestrator
 from repro.core.routing_model import DEFAULT_D_REUSE_KM, RoutingModel
 from repro.experiments.harness import ExperimentResult, budget_grid, config_prefix_subset
 from repro.scenario import Scenario, azure_scenario, prototype_scenario
@@ -48,7 +48,8 @@ def painter_budget_configs(
 ) -> Dict[int, AdvertisementConfig]:
     """PAINTER configs for each budget from one max-budget greedy solve."""
     orchestrator = PainterOrchestrator(
-        scenario, prefix_budget=max(budgets), latency_of=latency_of
+        scenario,
+        OrchestratorConfig(prefix_budget=max(budgets), latency_of=latency_of),
     )
     if learning_iterations > 1:
         orchestrator.learn(iterations=learning_iterations - 1)
@@ -220,7 +221,9 @@ def run_fig6c(
 ) -> ExperimentResult:
     scenario = scenario or prototype_scenario(seed=0, n_ugs=400)
     n_ingresses = len(scenario.deployment)
-    orchestrator = PainterOrchestrator(scenario, prefix_budget=painter_max_budget)
+    orchestrator = PainterOrchestrator(
+        scenario, OrchestratorConfig(prefix_budget=painter_max_budget)
+    )
     learning = orchestrator.learn(iterations=iterations)
 
     result = ExperimentResult(

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.core.benefit import best_prefix_choices, realized_benefit
-from repro.core.orchestrator import PainterOrchestrator
+from repro.core.orchestrator import OrchestratorConfig, PainterOrchestrator
 from repro.experiments.harness import ExperimentResult, config_prefix_subset
 from repro.scenario import Scenario, prototype_scenario
 
@@ -31,7 +31,9 @@ def run_fig7(
     learning_iterations: int = 2,
 ) -> ExperimentResult:
     scenario = scenario or prototype_scenario(seed=0, n_ugs=300)
-    orchestrator = PainterOrchestrator(scenario, prefix_budget=max(budgets))
+    orchestrator = PainterOrchestrator(
+        scenario, OrchestratorConfig(prefix_budget=max(budgets))
+    )
     if learning_iterations > 1:
         orchestrator.learn(iterations=learning_iterations - 1)
     full_config = orchestrator.solve()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.orchestrator import PainterOrchestrator
+from repro.core.orchestrator import OrchestratorConfig, PainterOrchestrator
 from repro.dns.resolvers import ResolverAssignment, ResolverConfig
 from repro.experiments.harness import ExperimentResult, budget_grid, config_prefix_subset
 from repro.scenario import Scenario, prototype_scenario
@@ -51,7 +51,9 @@ def run_fig9b(
 ) -> ExperimentResult:
     scenario = scenario or prototype_scenario(seed=0, n_ugs=400)
     resolvers = ResolverAssignment(scenario, resolver_config)
-    orchestrator = PainterOrchestrator(scenario, prefix_budget=painter_max_budget)
+    orchestrator = PainterOrchestrator(
+        scenario, OrchestratorConfig(prefix_budget=painter_max_budget)
+    )
     if learning_iterations > 1:
         orchestrator.learn(iterations=learning_iterations - 1)
     full_config = orchestrator.solve()

@@ -1,5 +1,22 @@
-"""The Traffic Manager: TM-Edge, TM-PoP, tunnels, flows, failover."""
+"""The Traffic Manager: TM-Edge, TM-PoP, tunnels, flows, failover.
 
+Two data planes implement the same :class:`DataPlane` protocol:
+
+* :class:`ScalarDataPlane` — the per-:class:`FlowEntry` reference;
+* :class:`VectorFlowTable` — numpy struct-of-arrays columns, batched
+  admit/forward/remap for millions of flows per step.
+"""
+
+from repro.traffic_manager.dataplane import (
+    DataPlane,
+    FlowBatch,
+    ForwardResult,
+    ScalarDataPlane,
+    TM_SNAPSHOT_VERSION,
+    VectorFlowTable,
+    flow_key,
+    plane_from_snapshot,
+)
 from repro.traffic_manager.failover import (
     AnycastEpoch,
     DowntimeEvent,
@@ -15,13 +32,18 @@ from repro.traffic_manager.load_balancing import (
     LoadAwareSelector,
     effective_latency_ms,
     greedy_spread,
+    proportional_spread,
 )
 from repro.traffic_manager.multipath import (
     MultipathConnection,
     Subflow,
     failover_comparison,
 )
-from repro.traffic_manager.selection import LowestLatencySelector, SelectionPolicyConfig
+from repro.traffic_manager.selection import (
+    LowestLatencySelector,
+    SelectionPolicyConfig,
+    SelectorBank,
+)
 from repro.traffic_manager.session import (
     EdgeSession,
     SessionFlow,
@@ -45,15 +67,25 @@ from repro.traffic_manager.tunnel import (
 
 __all__ = [
     "AnycastEpoch",
+    "DataPlane",
     "DestinationLoad",
     "DowntimeEvent",
     "ENCAP_OVERHEAD_BYTES",
+    "FlowBatch",
+    "ForwardResult",
     "LoadAwareSelector",
     "MultipathConnection",
+    "ScalarDataPlane",
+    "SelectorBank",
     "Subflow",
+    "TM_SNAPSHOT_VERSION",
+    "VectorFlowTable",
     "effective_latency_ms",
     "failover_comparison",
+    "flow_key",
     "greedy_spread",
+    "plane_from_snapshot",
+    "proportional_spread",
     "EdgeSession",
     "FailoverConfig",
     "FailoverResult",

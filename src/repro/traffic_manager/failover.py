@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.bgp.convergence import ConvergenceConfig, ConvergenceTrace, simulate_withdrawal
 from repro.faults.schedule import FaultSchedule
 from repro.simulation.events import EventLoop
+from repro.traffic_manager.dataplane import DataPlane, FlowBatch, VectorFlowTable
 from repro.traffic_manager.selection import LowestLatencySelector, SelectionPolicyConfig
 
 
@@ -74,6 +75,10 @@ class FailoverConfig:
     #: Arbitrary fault timeline; when ``None`` the legacy single-PoP outage
     #: (``failed_pop`` dies at ``failure_time_s``, forever) is used.
     schedule: Optional[FaultSchedule] = None
+    #: Live flows pinned to the data plane during the run (0 = control-plane
+    #: only).  With flows present, every selector switch re-maps them from
+    #: the dead prefix to the new selection through the batched data plane.
+    concurrent_flows: int = 0
 
     def fault_schedule(self) -> FaultSchedule:
         """The schedule actually simulated (explicit or legacy-derived)."""
@@ -122,6 +127,10 @@ class FailoverResult:
     downtime_events: List[DowntimeEvent] = field(default_factory=list)
     #: Per anycast prefix: dark windows and their convergence traces.
     anycast_epochs: Dict[str, List[AnycastEpoch]] = field(default_factory=dict)
+    #: Total flows moved by data-plane re-mapping on selector switches.
+    flows_remapped: int = 0
+    #: (time_s, from_prefix, to_prefix, n_flows) per re-mapping event.
+    remap_events: List[Tuple[float, str, str, int]] = field(default_factory=list)
 
     @property
     def painter_downtime_ms(self) -> float:
@@ -267,9 +276,19 @@ def _build_anycast_epochs(
 
 
 def run_failover(
-    paths: Sequence[PathSpec], config: Optional[FailoverConfig] = None
+    paths: Sequence[PathSpec],
+    config: Optional[FailoverConfig] = None,
+    data_plane: Optional[DataPlane] = None,
 ) -> FailoverResult:
-    """Run the event-driven failover simulation under the fault schedule."""
+    """Run the event-driven failover simulation under the fault schedule.
+
+    With ``config.concurrent_flows > 0`` a data plane (a fresh
+    :class:`VectorFlowTable` unless one is supplied) is pre-loaded with that
+    many synthetic flows pinned to the initial selection; every selector
+    switch then re-maps the flows off the abandoned prefix in one batched
+    call — measuring the *data-plane* half of RTT-timescale failover, not
+    just the detection logic.
+    """
     config = config or FailoverConfig()
     if not paths:
         raise ValueError("need at least one path")
@@ -299,6 +318,28 @@ def run_failover(
     by_prefix = {p.prefix: p for p in paths}
     if timeline_seed is not None:
         timeline.append((0.0, timeline_seed, measured[timeline_seed]))
+
+    # -- data-plane flows pinned for the duration of the run ------------------
+    plane = data_plane
+    remap_events: List[Tuple[float, str, str, int]] = []
+    remap_total = [0]
+    if config.concurrent_flows > 0:
+        if plane is None:
+            plane = VectorFlowTable()
+        if timeline_seed is not None:
+            seed_batch = FlowBatch.synthesize(
+                config.concurrent_flows, seed=config.seed
+            )
+            plane.admit(seed_batch, {0: timeline_seed}, 0.0)
+
+    def switch_flows(old: Optional[str], new: Optional[str], now_s: float) -> None:
+        """Re-pin every flow off ``old`` when the selection moves to ``new``."""
+        if plane is None or old is None or new is None or old == new:
+            return
+        moved = plane.remap(old, new)
+        if moved:
+            remap_total[0] += moved
+            remap_events.append((now_s, old, new, moved))
 
     def active_path() -> Optional[PathSpec]:
         prefix = selector.current
@@ -352,7 +393,9 @@ def run_failover(
                     "tunnel %s declared down at t=%.3fs", prefix, loop.now_s
                 )
             measured[prefix] = math.inf
+            before = selector.current
             selector.update(dict(measured))
+            switch_flows(before, selector.current, loop.now_s)
             timeline.append((loop.now_s, selector.current, math.inf))
 
         return check
@@ -365,6 +408,7 @@ def run_failover(
         previous = selector.current
         selector.update(dict(measured))
         if selector.current != previous:
+            switch_flows(previous, selector.current, now)
             timeline.append(
                 (now, selector.current, measured.get(selector.current or "", math.inf))
             )
@@ -407,6 +451,8 @@ def run_failover(
         recovery_time_s=downtimes[0].recovered_s if downtimes else None,
         downtime_events=downtimes,
         anycast_epochs=epochs,
+        flows_remapped=remap_total[0],
+        remap_events=remap_events,
     )
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -97,3 +97,103 @@ class LowestLatencySelector:
             self._challenger_rounds = 0
             self._switch_count += 1
         return self._current
+
+    # -- state transfer (TM-Edge snapshot protocol) --------------------------
+
+    def to_snapshot(self) -> Dict[str, Any]:
+        """Plain-data selector state (nested inside TM-Edge snapshots)."""
+        return {
+            "current": self._current,
+            "challenger": self._challenger,
+            "challenger_rounds": self._challenger_rounds,
+            "switch_count": self._switch_count,
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: Mapping[str, Any],
+        config: Optional[SelectionPolicyConfig] = None,
+    ) -> "LowestLatencySelector":
+        selector = cls(config)
+        selector._current = snapshot.get("current")
+        selector._challenger = snapshot.get("challenger")
+        selector._challenger_rounds = int(snapshot.get("challenger_rounds", 0))
+        selector._switch_count = int(snapshot.get("switch_count", 0))
+        return selector
+
+
+class SelectorBank:
+    """Many independent hysteretic selectors, keyed by integer service id.
+
+    The replay/bench workloads steer hundreds of user groups at once; each
+    gets its own :class:`LowestLatencySelector` (selection state must not
+    bleed between services), but measurement rounds arrive as one latency
+    matrix.  :meth:`update_matrix` feeds a whole round in a single call.
+    """
+
+    def __init__(self, config: Optional[SelectionPolicyConfig] = None) -> None:
+        self._config = config or SelectionPolicyConfig()
+        self._selectors: Dict[int, LowestLatencySelector] = {}
+
+    def __len__(self) -> int:
+        return len(self._selectors)
+
+    def selector(self, service_id: int) -> LowestLatencySelector:
+        selector = self._selectors.get(service_id)
+        if selector is None:
+            selector = self._selectors[service_id] = LowestLatencySelector(
+                self._config
+            )
+        return selector
+
+    def current(self, service_id: int) -> Optional[str]:
+        selector = self._selectors.get(service_id)
+        return None if selector is None else selector.current
+
+    def selections(self) -> Dict[int, Optional[str]]:
+        """Per-service current selections, in service-id order."""
+        return {
+            sid: selector.current
+            for sid, selector in sorted(self._selectors.items())
+        }
+
+    def update_matrix(
+        self,
+        prefixes: Sequence[str],
+        latencies_ms,
+        service_ids: Optional[Sequence[int]] = None,
+    ) -> Dict[int, Optional[str]]:
+        """Feed one measurement round for many services at once.
+
+        ``latencies_ms`` is an (n_services, n_prefixes) array-like; row *i*
+        belongs to ``service_ids[i]`` (or service id *i* when omitted).
+        Returns the resulting per-service selections.
+        """
+        results: Dict[int, Optional[str]] = {}
+        names = list(prefixes)
+        for i, row in enumerate(latencies_ms):
+            sid = int(service_ids[i]) if service_ids is not None else i
+            results[sid] = self.selector(sid).update(
+                dict(zip(names, (float(v) for v in row)))
+            )
+        return results
+
+    def to_snapshot(self) -> Dict[str, Any]:
+        return {
+            str(sid): selector.to_snapshot()
+            for sid, selector in sorted(self._selectors.items())
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: Mapping[str, Any],
+        config: Optional[SelectionPolicyConfig] = None,
+    ) -> "SelectorBank":
+        bank = cls(config)
+        for sid, state in snapshot.items():
+            bank._selectors[int(sid)] = LowestLatencySelector.from_snapshot(
+                state, bank._config
+            )
+        return bank

@@ -53,6 +53,9 @@ class SessionMetrics:
     flows_steered: int = 0
     flows_unroutable: int = 0
     flows_disrupted: int = 0
+    #: Flows moved to a live destination by failover re-mapping instead of
+    #: being dropped (only with ``EdgeSession(remap_on_failure=True)``).
+    flows_remapped: int = 0
     bytes_by_destination: Dict[str, float] = field(default_factory=dict)
     latency_weighted_bytes: float = 0.0
     total_bytes: float = 0.0
@@ -79,6 +82,7 @@ class EdgeSession:
         oracle: PathOracle,
         measure_interval_s: float = 1.0,
         selection: Optional[SelectionPolicyConfig] = None,
+        remap_on_failure: bool = False,
     ) -> None:
         if not destinations:
             raise ValueError("need at least one destination")
@@ -88,6 +92,7 @@ class EdgeSession:
         self._oracle = oracle
         self._measure_interval_s = measure_interval_s
         self._selector = LowestLatencySelector(selection or SelectionPolicyConfig())
+        self._remap_on_failure = remap_on_failure
 
     def run(self, flows: Sequence[SessionFlow], duration_s: float) -> SessionMetrics:
         """Simulate the workload; returns the collected metrics."""
@@ -105,12 +110,18 @@ class EdgeSession:
             previous = {
                 dest for dest, rtt in rtts.items() if math.isinf(rtt)
             }
-            self._selector.update(rtts)
-            # Flows pinned to a destination that just died are disrupted.
-            for flow_id, (dest, _flow) in list(active.items()):
+            replacement = self._selector.update(rtts)
+            # Flows pinned to a destination that just died are disrupted —
+            # unless RTT-timescale failover re-mapping is enabled, in which
+            # case they move wholesale to the live selection instead.
+            for flow_id, (dest, flow) in list(active.items()):
                 if dest in previous:
-                    metrics.flows_disrupted += 1
-                    del active[flow_id]
+                    if self._remap_on_failure and replacement is not None:
+                        metrics.flows_remapped += 1
+                        active[flow_id] = (replacement, flow)
+                    else:
+                        metrics.flows_disrupted += 1
+                        del active[flow_id]
             if loop.now_s + self._measure_interval_s <= duration_s:
                 loop.schedule_in(self._measure_interval_s, measure)
 

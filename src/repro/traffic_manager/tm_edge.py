@@ -4,13 +4,39 @@ A TM-Edge lives in a cloud-edge network stack inside the enterprise.  It
 resolves the available destination prefixes per service (§3.2), measures
 them continuously, selects the best via a hysteretic policy, maps new flows
 to the current selection (immutably, per flow), and tunnels packets.
+
+Two flow surfaces coexist:
+
+* the historical **per-flow** path (:meth:`TMEdge.admit_flow`,
+  :meth:`TMEdge.forward`) over the scalar :class:`FlowTable` — one
+  :class:`FiveTuple` at a time, the reference semantics;
+* the **batched** path (:meth:`TMEdge.forward_batch`,
+  :meth:`TMEdge.admit_batch`, :meth:`TMEdge.end_batch`) over a pluggable
+  :class:`repro.traffic_manager.dataplane.DataPlane` — by default a
+  :class:`ScalarDataPlane` sharing this edge's flow table, or a
+  :class:`VectorFlowTable` for million-flow workloads.
+
+With ``remap_on_failover=True`` the edge re-pins flows off a tunnel the
+moment a measurement round reports it dead (RTT-timescale failover, §5.2.3)
+instead of leaving them pinned to a black hole.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional
 
+import numpy as np
+
+from repro.perf import PERF
+from repro.traffic_manager.dataplane import (
+    DataPlane,
+    FlowBatch,
+    ForwardResult,
+    ScalarDataPlane,
+    TM_SNAPSHOT_VERSION,
+    plane_from_snapshot,
+)
 from repro.traffic_manager.flows import FiveTuple, FlowEntry, FlowTable
 from repro.traffic_manager.selection import LowestLatencySelector, SelectionPolicyConfig
 from repro.traffic_manager.tm_pop import PrefixDirectory, TMPoP
@@ -38,6 +64,8 @@ class TMEdge:
         edge_ip: str,
         directory: PrefixDirectory,
         selection: Optional[SelectionPolicyConfig] = None,
+        data_plane: Optional[DataPlane] = None,
+        remap_on_failover: bool = False,
     ) -> None:
         self._edge_ip = edge_ip
         self._directory = directory
@@ -45,6 +73,12 @@ class TMEdge:
         self._selectors: Dict[str, LowestLatencySelector] = {}
         self._selection_config = selection or SelectionPolicyConfig()
         self._flows = FlowTable()
+        self._plane: DataPlane = (
+            data_plane if data_plane is not None else ScalarDataPlane(self._flows)
+        )
+        self._service_ids: Dict[str, int] = {}
+        self._remap_on_failover = remap_on_failover
+        self._flows_remapped = 0
 
     @property
     def edge_ip(self) -> str:
@@ -53,6 +87,23 @@ class TMEdge:
     @property
     def flow_table(self) -> FlowTable:
         return self._flows
+
+    @property
+    def data_plane(self) -> DataPlane:
+        return self._plane
+
+    @property
+    def flows_remapped(self) -> int:
+        """Total flows moved by failover re-mapping on this edge."""
+        return self._flows_remapped
+
+    def service_id(self, service: str) -> int:
+        """Stable small integer for a service (assigned on first use)."""
+        sid = self._service_ids.get(service)
+        if sid is None:
+            sid = len(self._service_ids)
+            self._service_ids[service] = sid
+        return sid
 
     # -- resolving available prefixes (§3.2) --------------------------------
 
@@ -72,6 +123,7 @@ class TMEdge:
             if prefix not in prefixes:
                 del tunnels[prefix]
         self._selectors.setdefault(service, LowestLatencySelector(self._selection_config))
+        self.service_id(service)
         return frozenset(tunnels)
 
     def tunnel_map(self, service: str) -> Mapping[str, str]:
@@ -84,7 +136,12 @@ class TMEdge:
     # -- measurement + selection -----------------------------------------------
 
     def record_measurements(self, service: str, rtts_ms: Mapping[str, float]) -> Optional[str]:
-        """Feed one round of tunnel RTTs; returns the selected prefix."""
+        """Feed one round of tunnel RTTs; returns the selected prefix.
+
+        With ``remap_on_failover`` enabled, flows pinned to tunnels this
+        round reports dead are re-pinned to the (new) selection in the same
+        call — the data-plane half of RTT-timescale failover.
+        """
         tunnels = self._tunnels.get(service)
         if tunnels is None:
             raise KeyError(f"service {service!r} not resolved yet")
@@ -92,15 +149,30 @@ class TMEdge:
             if prefix in tunnels:
                 tunnels[prefix].last_rtt_ms = rtt
         selector = self._selectors[service]
-        return selector.update(
+        selected = selector.update(
             {prefix: state.last_rtt_ms for prefix, state in tunnels.items()}
         )
+        if self._remap_on_failover and selected is not None:
+            for prefix in sorted(tunnels):
+                state = tunnels[prefix]
+                if prefix != selected and not state.is_up:
+                    moved = self._plane.remap(prefix, selected)
+                    self._flows_remapped += moved
+        return selected
 
     def selected_prefix(self, service: str) -> Optional[str]:
         selector = self._selectors.get(service)
         return None if selector is None else selector.current
 
-    # -- flow handling ------------------------------------------------------------
+    def selections_by_service_id(self) -> Dict[int, Optional[str]]:
+        """Current per-service selections keyed by interned service id."""
+        return {
+            self._service_ids[service]: selector.current
+            for service, selector in self._selectors.items()
+            if service in self._service_ids
+        }
+
+    # -- flow handling (per-flow reference path) ----------------------------
 
     def admit_flow(self, service: str, five_tuple: FiveTuple, now_s: float) -> FlowEntry:
         """Map a *new* flow to the currently-best destination (immutable)."""
@@ -110,15 +182,119 @@ class TMEdge:
         selected = self.selected_prefix(service)
         if selected is None:
             raise RuntimeError(f"no live destination for service {service!r}")
-        return self._flows.map_flow(five_tuple, selected, now_s)
+        return self._flows.map_flow(
+            five_tuple, selected, now_s, service_id=self.service_id(service)
+        )
 
     def forward(self, service: str, packet: Packet, five_tuple: FiveTuple, now_s: float) -> Packet:
         """Tunnel a client packet along its flow's pinned destination."""
         entry = self._flows.lookup(five_tuple)
         if entry is None:
             entry = self.admit_flow(service, five_tuple, now_s)
-        entry.record_bytes(packet.payload_bytes)
+        entry.record_bytes(packet.payload_bytes, now_s=now_s)
         return encapsulate(packet, edge_ip=self._edge_ip, tunnel_dst_ip=_prefix_address(entry.destination_prefix))
+
+    # -- flow handling (batched path) ---------------------------------------
+
+    def forward_batch(self, batch: FlowBatch, now_s: float) -> ForwardResult:
+        """Steer one arrival/traffic batch through the data plane.
+
+        Service ids in the batch are the ones :meth:`service_id` assigned;
+        each flow is pinned (on first sight) to its service's current
+        selection, existing flows accumulate bytes on their immutable
+        mapping, and flows of services with no live destination are dropped.
+        """
+        with PERF.timed("tm_edge.forward_batch"):
+            return self._plane.forward(
+                batch, self.selections_by_service_id(), now_s
+            )
+
+    def admit_batch(self, batch: FlowBatch, now_s: float) -> ForwardResult:
+        """Pin a batch of new flows without byte accounting."""
+        with PERF.timed("tm_edge.forward_batch"):
+            return self._plane.admit(
+                batch, self.selections_by_service_id(), now_s
+            )
+
+    def end_batch(self, keys: np.ndarray) -> int:
+        """Retire a batch of flows by key; unknown keys are tolerated."""
+        return self._plane.end(keys)
+
+    # -- state transfer ------------------------------------------------------
+
+    def to_snapshot(self) -> Dict[str, Any]:
+        """Versioned plain-data state (same convention as RoutingModel v2).
+
+        Carries the tunnel tables, selector states, service-id interning,
+        and the full data-plane snapshot, so an edge restored with
+        :meth:`from_snapshot` steers exactly like the original.
+        """
+        return {
+            "version": TM_SNAPSHOT_VERSION,
+            "edge_ip": self._edge_ip,
+            "selection": {
+                "switch_threshold": self._selection_config.switch_threshold,
+                "stability_rounds": self._selection_config.stability_rounds,
+            },
+            "remap_on_failover": self._remap_on_failover,
+            "flows_remapped": self._flows_remapped,
+            "services": dict(self._service_ids),
+            "tunnels": {
+                service: {
+                    prefix: [state.tm_pop_name, state.last_rtt_ms]
+                    for prefix, state in tunnels.items()
+                }
+                for service, tunnels in self._tunnels.items()
+            },
+            "selectors": {
+                service: selector.to_snapshot()
+                for service, selector in self._selectors.items()
+            },
+            "data_plane": self._plane.to_snapshot(),
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: Mapping[str, Any], directory: PrefixDirectory
+    ) -> "TMEdge":
+        """Rebuild an edge from :meth:`to_snapshot` against a directory."""
+        version = snapshot.get("version")
+        if version != TM_SNAPSHOT_VERSION:
+            raise ValueError(f"unsupported snapshot version {version!r}")
+        selection = SelectionPolicyConfig(
+            switch_threshold=snapshot["selection"]["switch_threshold"],
+            stability_rounds=snapshot["selection"]["stability_rounds"],
+        )
+        plane = plane_from_snapshot(snapshot["data_plane"])
+        edge = cls(
+            edge_ip=snapshot["edge_ip"],
+            directory=directory,
+            selection=selection,
+            data_plane=plane,
+            remap_on_failover=bool(snapshot.get("remap_on_failover", False)),
+        )
+        if isinstance(plane, ScalarDataPlane):
+            edge._flows = plane.table
+        edge._flows_remapped = int(snapshot.get("flows_remapped", 0))
+        edge._service_ids = {
+            name: int(sid) for name, sid in snapshot.get("services", {}).items()
+        }
+        edge._tunnels = {
+            service: {
+                prefix: TunnelState(
+                    prefix=prefix,
+                    tm_pop_name=pop_name,
+                    last_rtt_ms=float(rtt),
+                )
+                for prefix, (pop_name, rtt) in tunnels.items()
+            }
+            for service, tunnels in snapshot.get("tunnels", {}).items()
+        }
+        edge._selectors = {
+            service: LowestLatencySelector.from_snapshot(state, selection)
+            for service, state in snapshot.get("selectors", {}).items()
+        }
+        return edge
 
 
 def _prefix_address(prefix: str) -> str:

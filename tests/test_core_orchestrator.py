@@ -236,3 +236,64 @@ class TestObservationDegradation:
         report = ObservationReport(learned=4, observed=6, missing=3, stale=1)
         assert report.total == 10
         assert report.degraded_fraction == pytest.approx(0.4)
+
+
+class TestOrchestratorConfigAPI:
+    def test_config_object_constructor(self, scenario_module):
+        from repro.core.orchestrator import OrchestratorConfig
+
+        config = OrchestratorConfig(prefix_budget=3, d_reuse_km=2000.0)
+        orchestrator = PainterOrchestrator(scenario_module, config)
+        assert orchestrator.config is config
+        assert orchestrator.prefix_budget == 3
+
+    def test_legacy_keyword_form_warns_but_works(self, scenario_module):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            orchestrator = PainterOrchestrator(scenario_module, prefix_budget=3)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert orchestrator.prefix_budget == 3
+
+    def test_legacy_positional_budget_warns(self, scenario_module):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            orchestrator = PainterOrchestrator(scenario_module, 3)
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        assert orchestrator.prefix_budget == 3
+
+    def test_legacy_and_config_together_rejected(self, scenario_module):
+        from repro.core.orchestrator import OrchestratorConfig
+
+        with pytest.raises(TypeError):
+            PainterOrchestrator(
+                scenario_module, OrchestratorConfig(prefix_budget=3), prefix_budget=4
+            )
+
+    def test_missing_budget_rejected(self, scenario_module):
+        with pytest.raises(TypeError):
+            PainterOrchestrator(scenario_module)
+
+    def test_config_validates_budget(self):
+        from repro.core.orchestrator import OrchestratorConfig
+
+        with pytest.raises(ValueError):
+            OrchestratorConfig(prefix_budget=0)
+
+    def test_legacy_solution_identical_to_config_solution(self, scenario_module):
+        import warnings
+
+        from repro.core.orchestrator import OrchestratorConfig
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = PainterOrchestrator(scenario_module, prefix_budget=4).solve()
+        modern = PainterOrchestrator(
+            scenario_module, OrchestratorConfig(prefix_budget=4)
+        ).solve()
+        assert legacy == modern

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.core.advertisement import AdvertisementConfig
-from repro.core.orchestrator import PainterOrchestrator
+from repro.core.orchestrator import OrchestratorConfig, PainterOrchestrator
 from repro.experiments.harness import ExperimentResult
 from repro.io import (
     SerializationError,
@@ -62,7 +62,7 @@ class TestConfigSerialization:
 
 class TestLearningResultSerialization:
     def test_roundtrip(self, scenario):
-        orchestrator = PainterOrchestrator(scenario, prefix_budget=3)
+        orchestrator = PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=3))
         result = orchestrator.learn(iterations=2)
         document = learning_result_to_dict(result)
         restored = learning_result_from_dict(document)
@@ -135,6 +135,35 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
+    def test_tm_bench(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "tm-bench", "--preset", "tiny", "--seed", "3",
+                "--flows", "30000", "--steps", "3", "--budget", "3",
+                "--fail-step", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kflows_per_s" in out
+        assert "flows admitted" in out
+        assert "re-mapped" in out
+
+    def test_tm_bench_scalar_plane(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "tm-bench", "--preset", "tiny", "--seed", "3",
+                "--flows", "2000", "--steps", "2", "--budget", "3",
+                "--plane", "scalar",
+            ]
+        )
+        assert code == 0
+        assert "plane=scalar" in capsys.readouterr().out
+
 
 class TestRoutingModelPersistence:
     def test_roundtrip_preserves_predictions(self, scenario):
@@ -181,13 +210,15 @@ class TestRoutingModelPersistence:
         from repro.core.routing_model import RoutingModel
         from repro.io import restore_routing_model, routing_model_to_dict
 
-        first = PainterOrchestrator(scenario, prefix_budget=3)
+        first = PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=3))
         first.learn(iterations=2)
         document = routing_model_to_dict(first.model)
 
         model = RoutingModel(scenario.catalog)
         restore_routing_model(model, document)
-        resumed = PainterOrchestrator(scenario, prefix_budget=3, model=model)
+        resumed = PainterOrchestrator(
+            scenario, OrchestratorConfig(prefix_budget=3), model=model
+        )
         assert resumed.solve() == first.solve()
 
 
@@ -195,8 +226,8 @@ class TestPacingEstimate:
     def test_iteration_duration_scales_with_budget(self, scenario):
         from repro.core.orchestrator import PainterOrchestrator
 
-        small = PainterOrchestrator(scenario, prefix_budget=2)
-        large = PainterOrchestrator(scenario, prefix_budget=50)
+        small = PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=2))
+        large = PainterOrchestrator(scenario, OrchestratorConfig(prefix_budget=50))
         assert large.estimated_iteration_duration_s() > small.estimated_iteration_duration_s()
         # Paper: ~30 s per prefix of computation dominates at scale.
         assert large.estimated_iteration_duration_s() >= 50 * 30.0

@@ -1,0 +1,243 @@
+"""Batched data plane: scalar/vector equivalence, snapshots, batch checks.
+
+The vectorized :class:`VectorFlowTable` must be *bit-identical* to the
+scalar reference on every observable: which prefix each flow is pinned to,
+per-destination flow counts and byte totals, and what failover re-mapping
+moves.  The property tests drive both planes through the same randomized
+batch sequences to enforce that.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.traffic_manager.dataplane import (
+    DataPlane,
+    FlowBatch,
+    ScalarDataPlane,
+    TM_SNAPSHOT_VERSION,
+    VectorFlowTable,
+    flow_key,
+    plane_from_snapshot,
+)
+from repro.traffic_manager.flows import FiveTuple, FlowTable
+
+PREFIXES = ["184.164.224.0/24", "184.164.225.0/24", "184.164.226.0/24"]
+
+
+def make_selections(n_services: int, include_none: bool = True):
+    """Deterministic service->prefix map cycling the prefix list."""
+    selections = {}
+    for sid in range(n_services):
+        if include_none and sid % 4 == 3:
+            selections[sid] = None
+        else:
+            selections[sid] = PREFIXES[sid % len(PREFIXES)]
+    return selections
+
+
+def assert_planes_agree(scalar: ScalarDataPlane, vector: VectorFlowTable):
+    assert scalar.flow_count() == vector.flow_count()
+    assert scalar.destinations() == vector.destinations()
+    s_bytes = scalar.bytes_by_destination()
+    v_bytes = vector.bytes_by_destination()
+    assert s_bytes.keys() == v_bytes.keys()
+    for prefix in s_bytes:
+        assert s_bytes[prefix] == pytest.approx(v_bytes[prefix])
+
+
+class TestFlowBatch:
+    def test_synthesize_deterministic(self):
+        a = FlowBatch.synthesize(1000, seed=7, n_services=3)
+        b = FlowBatch.synthesize(1000, seed=7, n_services=3)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.service_ids, b.service_ids)
+        assert np.array_equal(a.payload_bytes, b.payload_bytes)
+
+    def test_zipf_weights_bias_service_mix(self):
+        batch = FlowBatch.synthesize(
+            20_000, seed=1, n_services=3, service_weights=[100.0, 10.0, 1.0]
+        )
+        counts = np.bincount(batch.service_ids, minlength=3)
+        assert counts[0] > counts[1] > counts[2]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FlowBatch(
+                keys=np.array([1, 2], dtype=np.uint64),
+                service_ids=np.array([0], dtype=np.int32),
+                payload_bytes=np.array([1.0, 2.0]),
+            )
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            FlowBatch(
+                keys=np.array([1], dtype=np.uint64),
+                service_ids=np.array([0], dtype=np.int32),
+                payload_bytes=np.array([-1.0]),
+            )
+
+    def test_from_flows_matches_flow_key(self):
+        ft = FiveTuple(proto="tcp", src_ip="1.2.3.4", src_port=80, dst_ip="5.6.7.8", dst_port=443)
+        batch = FlowBatch.from_flows([(ft, 2, 100.0)])
+        assert batch.keys[0] == flow_key(ft)
+        assert batch.service_ids[0] == 2
+        assert batch.payload_bytes[0] == 100.0
+
+
+class TestScalarVectorEquivalence:
+    """The heart of the PR: both planes steer byte-for-byte identically."""
+
+    @given(seed=st.integers(0, 2**16), n_flows=st.integers(1, 400))
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_single_batch_identical(self, seed, n_flows):
+        batch = FlowBatch.synthesize(n_flows, seed=seed, n_services=5)
+        selections = make_selections(5)
+        scalar, vector = ScalarDataPlane(), VectorFlowTable()
+        rs = scalar.forward(batch, selections, 0.0)
+        rv = vector.forward(batch, selections, 0.0)
+        assert np.array_equal(rs.assignments, rv.assignments)
+        assert (rs.admitted, rs.existing, rs.unroutable) == (
+            rv.admitted, rv.existing, rv.unroutable
+        )
+        assert rs.bytes_recorded == pytest.approx(rv.bytes_recorded)
+        assert_planes_agree(scalar, vector)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_multi_step_with_failover_identical(self, seed):
+        """Arrivals, repeats, a failover remap, and endings all agree."""
+        rng = np.random.default_rng(seed)
+        scalar, vector = ScalarDataPlane(), VectorFlowTable()
+        selections = make_selections(4)
+        all_keys = []
+        for step in range(4):
+            batch = FlowBatch.synthesize(
+                150, seed=seed * 31 + step, n_services=4
+            )
+            if all_keys and step >= 1:
+                # Re-offer some previously seen keys: existing flows must
+                # keep their pinned prefix and accumulate bytes.
+                old = np.asarray(all_keys[0][: 40], dtype=np.uint64)
+                batch = FlowBatch(
+                    keys=np.concatenate([batch.keys, old]),
+                    service_ids=np.concatenate(
+                        [batch.service_ids, np.zeros(len(old), dtype=np.int32)]
+                    ),
+                    payload_bytes=np.concatenate(
+                        [batch.payload_bytes, np.full(len(old), 99.0)]
+                    ),
+                )
+            rs = scalar.forward(batch, selections, float(step))
+            rv = vector.forward(batch, selections, float(step))
+            assert np.array_equal(rs.assignments, rv.assignments)
+            all_keys.append(batch.keys)
+            if step == 2:
+                # Failover: kill the first prefix, re-map onto the second.
+                moved_s = scalar.remap(PREFIXES[0], PREFIXES[1])
+                moved_v = vector.remap(PREFIXES[0], PREFIXES[1])
+                assert moved_s == moved_v
+                # Steer future flows of affected services elsewhere too.
+                selections = {
+                    sid: (PREFIXES[1] if prefix == PREFIXES[0] else prefix)
+                    for sid, prefix in selections.items()
+                }
+        # End a subset (plus some unknown keys, which must be tolerated).
+        victims = np.concatenate(
+            [all_keys[0][:25], rng.integers(0, 2**64, 10, dtype=np.uint64)]
+        )
+        assert scalar.end(victims) == vector.end(victims)
+        assert_planes_agree(scalar, vector)
+
+    def test_duplicate_keys_in_one_batch(self):
+        """First occurrence pins; repeats accumulate bytes on that pin."""
+        keys = np.array([5, 5, 9, 5], dtype=np.uint64)
+        sids = np.array([0, 1, 1, 2], dtype=np.int32)  # conflicting services
+        nbytes = np.array([10.0, 20.0, 30.0, 40.0])
+        batch = FlowBatch(keys=keys, service_ids=sids, payload_bytes=nbytes)
+        selections = {0: PREFIXES[0], 1: PREFIXES[1], 2: PREFIXES[2]}
+        scalar, vector = ScalarDataPlane(), VectorFlowTable()
+        rs = scalar.forward(batch, selections, 0.0)
+        rv = vector.forward(batch, selections, 0.0)
+        assert np.array_equal(rs.assignments, rv.assignments)
+        assert_planes_agree(scalar, vector)
+        # Key 5 was pinned by its first occurrence (service 0 -> prefix 0)
+        # and accumulated all three of its payloads there.
+        assert scalar.destinations() == {PREFIXES[0]: 1, PREFIXES[1]: 1}
+        assert scalar.bytes_by_destination()[PREFIXES[0]] == pytest.approx(70.0)
+
+    def test_unroutable_service_drops_whole_key(self):
+        """A key first seen on a selection-less service stays dropped."""
+        keys = np.array([7, 7], dtype=np.uint64)
+        sids = np.array([0, 1], dtype=np.int32)
+        batch = FlowBatch(
+            keys=keys, service_ids=sids, payload_bytes=np.array([1.0, 2.0])
+        )
+        selections = {0: None, 1: PREFIXES[0]}
+        scalar, vector = ScalarDataPlane(), VectorFlowTable()
+        rs = scalar.forward(batch, selections, 0.0)
+        rv = vector.forward(batch, selections, 0.0)
+        assert np.array_equal(rs.assignments, rv.assignments)
+        assert rs.unroutable == rv.unroutable == 2
+        assert scalar.flow_count() == vector.flow_count() == 0
+
+
+class TestSnapshots:
+    def test_vector_round_trip(self):
+        vector = VectorFlowTable()
+        batch = FlowBatch.synthesize(500, seed=3, n_services=3)
+        vector.forward(batch, make_selections(3), 1.5)
+        snapshot = vector.to_snapshot()
+        assert snapshot["version"] == TM_SNAPSHOT_VERSION
+        restored = plane_from_snapshot(snapshot)
+        assert isinstance(restored, VectorFlowTable)
+        assert_planes_agree_pair(vector, restored)
+        # The restored plane keeps steering identically.
+        more = FlowBatch.synthesize(100, seed=4, n_services=3)
+        a = vector.forward(more, make_selections(3), 2.0)
+        b = restored.forward(more, make_selections(3), 2.0)
+        assert np.array_equal(a.assignments, b.assignments)
+
+    def test_scalar_round_trip(self):
+        scalar = ScalarDataPlane()
+        batch = FlowBatch.synthesize(200, seed=5, n_services=2)
+        scalar.forward(batch, make_selections(2, include_none=False), 0.0)
+        restored = plane_from_snapshot(scalar.to_snapshot())
+        assert isinstance(restored, ScalarDataPlane)
+        assert_planes_agree_pair(scalar, restored)
+
+    def test_unsupported_version_rejected(self):
+        vector = VectorFlowTable()
+        snapshot = vector.to_snapshot()
+        snapshot["version"] = 99
+        with pytest.raises(ValueError, match="unsupported snapshot version"):
+            plane_from_snapshot(snapshot)
+
+    def test_kind_mismatch_rejected(self):
+        snapshot = VectorFlowTable().to_snapshot()
+        snapshot["kind"] = "wibble"
+        with pytest.raises(ValueError):
+            plane_from_snapshot(snapshot)
+
+
+def assert_planes_agree_pair(a: DataPlane, b: DataPlane):
+    assert a.flow_count() == b.flow_count()
+    assert a.destinations() == b.destinations()
+    a_bytes, b_bytes = a.bytes_by_destination(), b.bytes_by_destination()
+    assert a_bytes.keys() == b_bytes.keys()
+    for prefix in a_bytes:
+        assert a_bytes[prefix] == pytest.approx(b_bytes[prefix])
+
+
+class TestScalarPlaneSharesFlowTable:
+    def test_shared_table_sees_batch_flows(self):
+        table = FlowTable()
+        plane = ScalarDataPlane(table)
+        ft = FiveTuple(proto="udp", src_ip="9.9.9.9", src_port=53, dst_ip="8.8.8.8", dst_port=53)
+        batch = FlowBatch.from_flows([(ft, 0, 64.0)])
+        plane.forward(batch, {0: PREFIXES[0]}, 0.0)
+        # The legacy per-flow surface sees the batched admission (by key).
+        assert table.lookup(flow_key(ft)) is not None
+        assert table.destinations() == {PREFIXES[0]: 1}

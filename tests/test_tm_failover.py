@@ -220,3 +220,36 @@ class TestFaultSchedules:
         b = run_failover(default_fig10_paths(), FailoverConfig(schedule=storm, seed=7))
         assert a.timeline == b.timeline
         assert a.total_downtime_ms == b.total_downtime_ms
+
+
+class TestDataPlaneFailover:
+    def test_concurrent_flows_remapped_on_switch(self):
+        config = FailoverConfig(duration_s=80.0, concurrent_flows=10_000, seed=3)
+        result = run_failover(default_fig10_paths(), config)
+        # The PoP failure forces at least one selector switch, and every
+        # flow pinned to the abandoned prefix moves in one batched call.
+        assert result.flows_remapped > 0
+        assert result.remap_events
+        t, from_prefix, to_prefix, moved = result.remap_events[0]
+        assert from_prefix != to_prefix
+        assert moved > 0
+        assert t >= config.failure_time_s
+
+    def test_no_flows_means_no_remap_events(self):
+        result = run_failover(
+            default_fig10_paths(), FailoverConfig(duration_s=80.0)
+        )
+        assert result.flows_remapped == 0
+        assert result.remap_events == []
+
+    def test_supplied_plane_is_used(self):
+        from repro.traffic_manager.dataplane import VectorFlowTable
+
+        plane = VectorFlowTable()
+        config = FailoverConfig(duration_s=80.0, concurrent_flows=5_000, seed=1)
+        result = run_failover(default_fig10_paths(), config, data_plane=plane)
+        # All seeded flows live in the supplied plane, on live prefixes.
+        assert plane.flow_count() == 5_000
+        live = set(plane.destinations())
+        assert result.flows_remapped > 0
+        assert "2.2.2.0/24" not in live  # the dead PoP's best prefix

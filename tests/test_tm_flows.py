@@ -46,9 +46,9 @@ class TestFlowTable:
         assert entry.destination_prefix == "184.164.224.0/24"
         assert ft() not in table
 
-    def test_end_unknown_flow_raises(self):
-        with pytest.raises(KeyError):
-            FlowTable().end_flow(ft())
+    def test_end_unknown_flow_returns_none(self):
+        # A FIN retransmit / never-admitted flow is normal, not an error.
+        assert FlowTable().end_flow(ft()) is None
 
     def test_byte_accounting(self):
         table = FlowTable()
@@ -66,3 +66,18 @@ class TestFlowTable:
         table.map_flow(ft(port=3), "b/24", now_s=0.0)
         assert len(table.flows_to("a/24")) == 2
         assert table.destinations() == {"a/24": 2, "b/24": 1}
+
+    def test_remap_flows_keeps_destinations_consistent(self):
+        table = FlowTable()
+        table.map_flow(ft(port=1), "a/24", now_s=0.0)
+        table.map_flow(ft(port=2), "a/24", now_s=0.0)
+        table.map_flow(ft(port=3), "b/24", now_s=0.0)
+        moved = table.remap_flows("a/24", "b/24")
+        assert moved == 2
+        assert table.flows_to("a/24") == []
+        assert len(table.flows_to("b/24")) == 3
+        # destinations() must agree with flows_to() after failover re-mapping.
+        assert table.destinations() == {"b/24": 3}
+        # Re-mapping a prefix with no flows (or onto itself) is a no-op.
+        assert table.remap_flows("a/24", "b/24") == 0
+        assert table.remap_flows("b/24", "b/24") == 0

@@ -181,3 +181,104 @@ class TestTMEdge:
         flow = FiveTuple(proto="tcp", src_ip="10.1.1.1", src_port=1111, dst_ip="1.1.1.1", dst_port=1433)
         with pytest.raises(RuntimeError):
             edge.admit_flow("sql", flow, now_s=0.0)
+
+
+class TestSelectorBank:
+    def test_independent_selectors_per_service(self):
+        from repro.traffic_manager.selection import SelectorBank
+
+        bank = SelectorBank()
+        results = bank.update_matrix(["a", "b"], [[10.0, 20.0], [30.0, 5.0]])
+        assert results == {0: "a", 1: "b"}
+        assert bank.current(0) == "a"
+        assert bank.current(1) == "b"
+
+    def test_snapshot_round_trip(self):
+        from repro.traffic_manager.selection import SelectorBank
+
+        bank = SelectorBank()
+        bank.update_matrix(["a", "b"], [[10.0, 20.0], [30.0, 5.0]])
+        restored = SelectorBank.from_snapshot(bank.to_snapshot())
+        assert restored.selections() == bank.selections()
+
+
+class TestTMEdgeBatched:
+    def test_forward_batch_pins_by_service_selection(self, directory):
+        from repro.traffic_manager.dataplane import FlowBatch, VectorFlowTable
+
+        edge = TMEdge(
+            edge_ip="203.0.113.1", directory=directory, data_plane=VectorFlowTable()
+        )
+        edge.resolve_service("teams")
+        edge.record_measurements(
+            "teams", {"184.164.224.0/24": 10.0, "184.164.226.0/24": 40.0}
+        )
+        sid = edge.service_id("teams")
+        batch = FlowBatch.synthesize(1000, seed=1)
+        batch = FlowBatch(
+            keys=batch.keys,
+            service_ids=batch.service_ids + sid,
+            payload_bytes=batch.payload_bytes,
+        )
+        result = edge.forward_batch(batch, now_s=0.0)
+        assert result.admitted == 1000
+        assert edge.data_plane.destinations() == {"184.164.224.0/24": 1000}
+
+    def test_remap_on_failover_moves_batch_flows(self, directory):
+        from repro.traffic_manager.dataplane import FlowBatch, VectorFlowTable
+
+        edge = TMEdge(
+            edge_ip="203.0.113.1",
+            directory=directory,
+            data_plane=VectorFlowTable(),
+            remap_on_failover=True,
+        )
+        edge.resolve_service("teams")
+        edge.record_measurements(
+            "teams", {"184.164.224.0/24": 10.0, "184.164.226.0/24": 40.0}
+        )
+        edge.forward_batch(FlowBatch.synthesize(500, seed=2), now_s=0.0)
+        # The pinned tunnel dies: flows move to the surviving prefix.
+        edge.record_measurements("teams", {"184.164.224.0/24": math.inf})
+        assert edge.flows_remapped == 500
+        assert edge.data_plane.destinations() == {"184.164.226.0/24": 500}
+
+    def test_edge_snapshot_round_trip(self, directory):
+        from repro.traffic_manager.dataplane import FlowBatch, VectorFlowTable
+        from repro.traffic_manager.tm_edge import TMEdge as EdgeCls
+
+        edge = TMEdge(
+            edge_ip="203.0.113.1", directory=directory, data_plane=VectorFlowTable()
+        )
+        edge.resolve_service("teams")
+        edge.record_measurements(
+            "teams", {"184.164.224.0/24": 10.0, "184.164.226.0/24": 40.0}
+        )
+        edge.forward_batch(FlowBatch.synthesize(200, seed=3), now_s=0.0)
+        snapshot = edge.to_snapshot()
+        restored = EdgeCls.from_snapshot(snapshot, directory)
+        assert restored.selected_prefix("teams") == edge.selected_prefix("teams")
+        assert restored.data_plane.destinations() == edge.data_plane.destinations()
+        assert restored.tunnel_map("teams") == edge.tunnel_map("teams")
+        # Restored edge steers a fresh batch exactly like the original.
+        more = FlowBatch.synthesize(50, seed=4)
+        a = edge.forward_batch(more, now_s=1.0)
+        b = restored.forward_batch(more, now_s=1.0)
+        assert (a.admitted, a.unroutable) == (b.admitted, b.unroutable)
+
+    def test_edge_snapshot_version_checked(self, directory):
+        edge = TMEdge(edge_ip="203.0.113.1", directory=directory)
+        snapshot = edge.to_snapshot()
+        snapshot["version"] = 0
+        with pytest.raises(ValueError, match="unsupported snapshot version"):
+            TMEdge.from_snapshot(snapshot, directory)
+
+    def test_scalar_default_plane_shares_flow_table(self, directory):
+        from repro.traffic_manager.dataplane import FlowBatch
+
+        edge = TMEdge(edge_ip="203.0.113.1", directory=directory)
+        edge.resolve_service("teams")
+        edge.record_measurements("teams", {"184.164.224.0/24": 10.0})
+        edge.forward_batch(FlowBatch.synthesize(10, seed=5), now_s=0.0)
+        # Batched admissions land in the same table the per-flow API uses.
+        assert len(edge.flow_table) == 10
