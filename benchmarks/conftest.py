@@ -16,6 +16,16 @@ from repro.topology.builder import TopologyConfig
 from repro.usergroups.generation import UserGroupConfig
 
 
+def pytest_collection_modifyitems(items) -> None:
+    """Everything under benchmarks/ belongs to the ``bench`` tier.
+
+    Tier-1 deselects it via the addopts marker filter; CI's benchmark job
+    opts back in with ``-m bench``.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def bench_scenario() -> Scenario:
     """Prototype-like world sized for benchmarking."""

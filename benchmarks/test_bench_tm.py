@@ -5,12 +5,17 @@ Pins the tentpole claim: on the azure preset, the vectorized
 step while carrying one million concurrent flows.  A slow step anywhere in
 the run — admission, measurement fold-in, or the failover re-map — fails
 the gate, not just the average.
+
+The run executes with telemetry *enabled* (spans into a live journal), so
+the gate also bounds the instrumentation overhead: the tracer's per-batch
+span cost must fit inside the same 100k flows/s floor.
 """
 
 from __future__ import annotations
 
 from repro.experiments.replay import ReplayConfig, run_traffic_replay
 from repro.perf import PERF
+from repro.telemetry import telemetry_session
 
 #: The ISSUE's acceptance floor: each step must admit at this rate or better.
 MIN_FLOWS_PER_S = 100_000.0
@@ -33,9 +38,14 @@ def test_bench_tm_azure(benchmark):
         fail_step=STEPS - 1,
     )
 
+    journals = []
+
     def run():
         PERF.reset()
-        return run_traffic_replay(config)
+        with telemetry_session("bench-tm", include_timings=True) as journal:
+            replay = run_traffic_replay(config)
+        journals.append(journal)
+        return replay
 
     replay = benchmark.pedantic(run, rounds=1, iterations=1)
 
@@ -67,3 +77,8 @@ def test_bench_tm_azure(benchmark):
     benchmark.extra_info["solve_s"] = round(
         PERF.timer("replay.solve").total_s, 3
     )
+
+    # Telemetry was live for the whole gated run: spans must have landed.
+    journal = journals[-1]
+    assert any(s["name"] == "replay.step" for s in journal.spans())
+    benchmark.extra_info["journal_records"] = len(journal)

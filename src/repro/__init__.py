@@ -39,6 +39,15 @@ from repro.scenario import (
     prototype_scenario,
     tiny_scenario,
 )
+from repro.telemetry import (
+    METRICS,
+    MetricsRegistry,
+    RunJournal,
+    TRACER,
+    Tracer,
+    load_journal,
+    telemetry_session,
+)
 from repro.traffic_manager import (
     DataPlane,
     FiveTuple,
@@ -63,19 +72,26 @@ __all__ = [
     "FlowBatch",
     "FlowTable",
     "LearningResult",
+    "METRICS",
+    "MetricsRegistry",
     "ObservationFaults",
     "OrchestratorConfig",
     "PainterOrchestrator",
     "RoutingModel",
+    "RunJournal",
     "ScalarDataPlane",
     "Scenario",
     "TMEdge",
     "TMPoP",
+    "TRACER",
+    "Tracer",
     "VectorFlowTable",
     "azure_scenario",
     "build_scenario",
+    "load_journal",
     "prototype_scenario",
     "realized_benefit",
+    "telemetry_session",
     "tiny_scenario",
     "__version__",
 ]

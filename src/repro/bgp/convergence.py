@@ -15,6 +15,8 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
+from repro.telemetry import TRACER, emit_event
+
 
 @dataclass(frozen=True)
 class ConvergenceConfig:
@@ -112,6 +114,10 @@ def simulate_withdrawal(
     each carrying transient latency inflation that fades as the final path
     is selected.
     """
+    conv_cm = TRACER.span(
+        "bgp.convergence", withdrawal_time_s=withdrawal_time_s, seed=seed
+    )
+    conv_span = conv_cm.__enter__()
     rng = random.Random(seed)
     events: List[ConvergenceEvent] = []
 
@@ -144,7 +150,18 @@ def simulate_withdrawal(
         )
         time_s += config.mrai_s * rng.uniform(0.8, 1.3)
 
-    return ConvergenceTrace(withdrawal_time_s=withdrawal_time_s, events=events)
+    trace = ConvergenceTrace(withdrawal_time_s=withdrawal_time_s, events=events)
+    conv_span.tag("total_updates", trace.total_updates)
+    conv_span.tag("loss_duration_s", trace.loss_duration_s)
+    conv_cm.__exit__(None, None, None)
+    emit_event(
+        "bgp_convergence",
+        withdrawal_time_s=withdrawal_time_s,
+        total_updates=trace.total_updates,
+        loss_duration_s=trace.loss_duration_s,
+        reconvergence_time_s=trace.reconvergence_time_s,
+    )
+    return trace
 
 
 def churn_series(

@@ -10,7 +10,9 @@ Commands:
 * ``validate`` — traceroute-validate the policy-compliance inference (§3.1);
 * ``perf``     — instrumented solve/learn: counters, timers, cache hit rates;
 * ``tm-bench`` — drive Zipf-weighted UG flow arrivals through the batched
-  Traffic Manager data plane and report per-step steering throughput.
+  Traffic Manager data plane and report per-step steering throughput;
+* ``trace``    — render the per-phase time/benefit breakdown of a JSONL run
+  journal written by ``--journal`` (on solve/chaos/tm-bench).
 
 Experiments have their own entry point: ``python -m repro.experiments``.
 """
@@ -18,8 +20,9 @@ Experiments have their own entry point: ``python -m repro.experiments``.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.scenario import Scenario, azure_scenario, prototype_scenario, tiny_scenario
 
@@ -47,6 +50,26 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ugs", type=int, default=None, help="user-group count")
 
 
+@contextlib.contextmanager
+def _maybe_journal(args: argparse.Namespace, run_name: str) -> Iterator[None]:
+    """Trace the wrapped command into ``--journal PATH`` when requested.
+
+    CLI journals include wall/CPU timings so ``repro trace`` can render a
+    real time breakdown (library callers who need byte-stable journals use
+    :func:`repro.telemetry.telemetry_session` directly with its default).
+    """
+    path = getattr(args, "journal", None)
+    if not path:
+        yield
+        return
+    from repro.telemetry import telemetry_session
+
+    with telemetry_session(run_name, include_timings=True) as journal:
+        yield
+    journal.write(path)
+    print(f"wrote run journal to {path} ({len(journal)} records)")
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     scenario = _scenario_from(args)
     print(scenario.describe())
@@ -68,7 +91,8 @@ def cmd_solve(args: argparse.Namespace) -> int:
     orchestrator = PainterOrchestrator(
         scenario, OrchestratorConfig(prefix_budget=args.budget, d_reuse_km=args.d_reuse)
     )
-    result = orchestrator.learn(iterations=args.iterations)
+    with _maybe_journal(args, "solve"):
+        result = orchestrator.learn(iterations=args.iterations)
     config = result.final_config
     possible = scenario.total_possible_benefit()
     print(scenario.describe())
@@ -102,12 +126,13 @@ def cmd_failover(args: argparse.Namespace) -> int:
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments.chaos import run_chaos
 
-    result = run_chaos(
-        storms=args.storms,
-        duration_s=args.duration,
-        seed=args.seed,
-        intensity=args.intensity,
-    )
+    with _maybe_journal(args, "chaos"):
+        result = run_chaos(
+            storms=args.storms,
+            duration_s=args.duration,
+            seed=args.seed,
+            intensity=args.intensity,
+        )
     print(result.render())
     return 0
 
@@ -191,17 +216,18 @@ def cmd_tm_bench(args: argparse.Namespace) -> int:
     PERF.reset()
     steps = args.steps
     arrivals = max(1, args.flows // steps)
-    replay = run_traffic_replay(
-        ReplayConfig(
-            preset=args.preset,
-            seed=args.seed,
-            arrivals_per_step=arrivals,
-            steps=steps,
-            prefix_budget=args.budget,
-            plane=args.plane,
-            fail_step=args.fail_step,
+    with _maybe_journal(args, "tm-bench"):
+        replay = run_traffic_replay(
+            ReplayConfig(
+                preset=args.preset,
+                seed=args.seed,
+                arrivals_per_step=arrivals,
+                steps=steps,
+                prefix_budget=args.budget,
+                plane=args.plane,
+                fail_step=args.fail_step,
+            )
         )
-    )
     print(replay.to_result().render())
     print()
     print(
@@ -217,6 +243,24 @@ def cmd_tm_bench(args: argparse.Namespace) -> int:
     if args.show_perf:
         print()
         print(PERF.render())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Render the per-phase breakdown of a run journal."""
+    from repro.telemetry import journal_to_result, load_journal
+
+    try:
+        journal = load_journal(args.journal)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(journal_to_result(journal).render())
+    if args.metrics:
+        from repro.telemetry import METRICS
+
+        print()
+        print(METRICS.to_prometheus(), end="")
     return 0
 
 
@@ -236,6 +280,10 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--iterations", type=int, default=3, help="learning iterations")
     solve.add_argument("--d-reuse", type=float, default=3000.0, help="D_reuse (km)")
     solve.add_argument("--output", type=str, default=None, help="save config JSON here")
+    solve.add_argument(
+        "--journal", type=str, default=None,
+        help="write a JSONL run journal here (render with `repro trace`)",
+    )
     solve.set_defaults(func=cmd_solve)
 
     failover = sub.add_parser("failover", help="run the Fig. 10 failover simulation")
@@ -248,6 +296,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--intensity", type=float, default=1.0,
         help="expected fault-event count multiplier",
+    )
+    chaos.add_argument(
+        "--journal", type=str, default=None,
+        help="write a JSONL run journal here (render with `repro trace`)",
     )
     chaos.set_defaults(func=cmd_chaos)
 
@@ -312,7 +364,21 @@ def build_parser() -> argparse.ArgumentParser:
     tm_bench.add_argument(
         "--show-perf", action="store_true", help="print the perf registry after"
     )
+    tm_bench.add_argument(
+        "--journal", type=str, default=None,
+        help="write a JSONL run journal here (render with `repro trace`)",
+    )
     tm_bench.set_defaults(func=cmd_tm_bench)
+
+    trace = sub.add_parser(
+        "trace", help="render the per-phase breakdown of a run journal"
+    )
+    trace.add_argument("journal", help="path to a JSONL journal from --journal")
+    trace.add_argument(
+        "--metrics", action="store_true",
+        help="also dump the in-process metrics registry (Prometheus text)",
+    )
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -32,10 +32,15 @@ from repro.core.benefit import BenefitEvaluator, LatencyFn, realized_benefit
 from repro.core.routing_model import DEFAULT_D_REUSE_KM, RoutingModel
 from repro.perf import PERF
 from repro.scenario import Scenario
+from repro.telemetry import TRACER, emit_event
 from repro.usergroups.usergroup import UserGroup
 
 #: Marginal benefit below this (volume-weighted ms) counts as "no benefit".
 EPSILON_BENEFIT = 1e-9
+#: Histogram buckets for accepted marginal benefits (volume-weighted ms).
+_BENEFIT_BUCKETS = (
+    0.01, 0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0,
+)
 _DEBUG_CHECK = False  # cross-check vectorized marginals against the scalar path
 
 logger = logging.getLogger(__name__)
@@ -345,8 +350,12 @@ class PainterOrchestrator:
 
     def solve(self, record_curve: bool = False) -> AdvertisementConfig:
         """Greedy allocation of the prefix budget (one outer-loop pass)."""
-        with PERF.timed("orchestrator.solve"):
-            return self._solve(record_curve=record_curve)
+        with TRACER.span("orchestrator.solve", budget=self._budget) as span:
+            with PERF.timed("orchestrator.solve"):
+                config = self._solve(record_curve=record_curve)
+            span.tag("prefixes_used", config.prefix_count)
+            span.tag("pairs_used", config.pair_count)
+            return config
 
     def _solve(self, record_curve: bool = False) -> AdvertisementConfig:
         scenario = self._scenario
@@ -357,6 +366,9 @@ class PainterOrchestrator:
         marginal_evals = PERF.counter("orchestrator.marginal_evals")
         naive_evals = PERF.counter("orchestrator.naive_marginal_evals")
         repushes = PERF.counter("orchestrator.heap_repushes")
+        marginal_hist = PERF.histogram(
+            "orchestrator.marginal_benefit", _BENEFIT_BUCKETS
+        )
         # Fill the UG×peering latency matrix up front so the ranked scan
         # below never pays a latency_of call mid-heap-operation.
         evaluator.precompute_latency_matrix()
@@ -420,6 +432,10 @@ class PainterOrchestrator:
         all_peering_ids = sorted(self._affected)
 
         for prefix in range(self._budget):
+            # Manual enter/exit keeps the 200-line loop body unindented;
+            # while tracing is disabled both calls hit the shared no-op.
+            scan_cm = TRACER.span("orchestrator.prefix_scan", prefix=prefix)
+            scan_span = scan_cm.__enter__()
             advertised: Set[int] = set()
             # Incremental Eq.-2 session: marginal queries against the
             # growing accepted set cost a binary search for unlearned UGs
@@ -593,6 +609,7 @@ class PainterOrchestrator:
                 if -neg_delta <= EPSILON_BENEFIT:
                     break  # no peering offers positive benefit for this prefix
                 # Accept: advertise this prefix via this peering.
+                marginal_hist.observe(-neg_delta)
                 advertised.add(pid)
                 config.add(prefix, pid)
                 version += 1
@@ -627,6 +644,8 @@ class PainterOrchestrator:
             else:
                 naive_evals.add(n_peerings)
 
+            scan_span.tag("accepted", accepts)
+            scan_cm.__exit__(None, None, None)
             if not advertised:
                 break  # nothing left anywhere: further prefixes also won't help
             logger.debug(
@@ -688,6 +707,10 @@ class PainterOrchestrator:
         observed = 0
         missing = 0
         stale = 0
+        obs_cm = TRACER.span(
+            "orchestrator.execute_and_observe", iteration=iteration
+        )
+        obs_span = obs_cm.__enter__()
         timer = PERF.timer("orchestrator.execute_and_observe")
         start = time.perf_counter()
         for ug in self._scenario.user_groups:
@@ -722,6 +745,18 @@ class PainterOrchestrator:
                 self._last_seen[cache_key] = (advertised, actual.peering_id)
                 observed += 1
         timer.add(time.perf_counter() - start)
+        obs_span.tag("observed", observed)
+        obs_span.tag("missing", missing)
+        obs_span.tag("stale", stale)
+        obs_cm.__exit__(None, None, None)
+        emit_event(
+            "measurement_round",
+            iteration=iteration,
+            learned=learned,
+            observed=observed,
+            missing=missing,
+            stale=stale,
+        )
         return ObservationReport(
             learned=learned, observed=observed, missing=missing, stale=stale
         )
@@ -748,12 +783,29 @@ class PainterOrchestrator:
             raise ValueError("need at least one iteration")
         result = LearningResult()
         previous_benefit: Optional[float] = None
+        learn_cm = TRACER.span("orchestrator.learn", iterations=iterations)
+        learn_span = learn_cm.__enter__()
         for iteration in range(iterations):
+            iter_cm = TRACER.span("orchestrator.iteration", iteration=iteration)
+            iter_span = iter_cm.__enter__()
             config = self.solve(record_curve=record_curve)
             evaluation = self._evaluator.evaluate(config)
             expected = self._evaluator.expected_benefit(config)
+            emit_event(
+                "advertisement",
+                iteration=iteration,
+                prefixes=config.prefix_count,
+                pairs=config.pair_count,
+                expected_benefit=expected,
+            )
             report = self.execute_and_observe(config, faults=faults, iteration=iteration)
             realized = realized_benefit(self._scenario, config)
+            emit_event(
+                "iteration_result",
+                iteration=iteration,
+                realized_benefit=realized,
+                new_preferences=report.learned,
+            )
             result.iterations.append(
                 IterationRecord(
                     iteration=iteration,
@@ -780,9 +832,13 @@ class PainterOrchestrator:
                 report.missing,
                 report.stale,
             )
+            iter_span.tag("realized_benefit", realized)
+            iter_cm.__exit__(None, None, None)
             if previous_benefit is not None and stop_threshold > 0:
                 gain = realized - previous_benefit
                 if gain <= stop_threshold * max(previous_benefit, EPSILON_BENEFIT):
                     break
             previous_benefit = realized
+        learn_span.tag("iterations_run", len(result.iterations))
+        learn_cm.__exit__(None, None, None)
         return result

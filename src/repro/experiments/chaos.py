@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.experiments.harness import ExperimentResult
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
+from repro.telemetry import TRACER, emit_event
 from repro.traffic_manager.failover import (
     FailoverConfig,
     FailoverResult,
@@ -88,26 +89,46 @@ class ChaosHarness:
 
     def run_storm(self, storm: int) -> StormOutcome:
         cfg = self._config
-        schedule = self.make_storm(storm)
-        result = run_failover(
-            self._paths,
-            FailoverConfig(
-                duration_s=cfg.duration_s,
-                dns_ttl_s=cfg.dns_ttl_s,
+        with TRACER.span("chaos.storm", storm=storm, seed=cfg.seed + storm) as span:
+            schedule = self.make_storm(storm)
+            span.tag("faults", len(schedule))
+            emit_event(
+                "fault_storm",
+                storm=storm,
                 seed=cfg.seed + storm,
+                faults=len(schedule),
+                duration_s=cfg.duration_s,
+                intensity=cfg.intensity,
+            )
+            result = run_failover(
+                self._paths,
+                FailoverConfig(
+                    duration_s=cfg.duration_s,
+                    dns_ttl_s=cfg.dns_ttl_s,
+                    seed=cfg.seed + storm,
+                    schedule=schedule,
+                ),
+            )
+            outcome = StormOutcome(
+                storm=storm,
                 schedule=schedule,
-            ),
-        )
-        return StormOutcome(
-            storm=storm,
-            schedule=schedule,
-            result=result,
-            painter_downtime_ms=result.total_downtime_ms,
-            painter_inflation_ms=self._painter_inflation_ms(result),
-            painter_recoveries=result.recovery_count,
-            anycast_downtime_s=self._anycast_downtime_s(result),
-            dns_downtime_s=self._dns_downtime_s(schedule),
-        )
+                result=result,
+                painter_downtime_ms=result.total_downtime_ms,
+                painter_inflation_ms=self._painter_inflation_ms(result),
+                painter_recoveries=result.recovery_count,
+                anycast_downtime_s=self._anycast_downtime_s(result),
+                dns_downtime_s=self._dns_downtime_s(schedule),
+            )
+            span.tag("recoveries", outcome.painter_recoveries)
+            emit_event(
+                "storm_outcome",
+                storm=storm,
+                painter_downtime_ms=outcome.painter_downtime_ms,
+                painter_recoveries=outcome.painter_recoveries,
+                anycast_downtime_s=outcome.anycast_downtime_s,
+                dns_downtime_s=outcome.dns_downtime_s,
+            )
+            return outcome
 
     def run(self) -> List[StormOutcome]:
         return [self.run_storm(storm) for storm in range(self._config.storms)]

@@ -34,6 +34,7 @@ from repro.core.orchestrator import OrchestratorConfig, PainterOrchestrator
 from repro.experiments.harness import ExperimentResult
 from repro.perf import PERF
 from repro.scenario import Scenario, azure_scenario, prototype_scenario, tiny_scenario
+from repro.telemetry import TRACER, emit_event
 from repro.traffic_manager.dataplane import (
     DataPlane,
     FlowBatch,
@@ -163,6 +164,11 @@ def _latency_matrix(
 def run_traffic_replay(config: Optional[ReplayConfig] = None) -> ReplayResult:
     """Run one replay; see the module docstring for the shape of a run."""
     config = config or ReplayConfig()
+    replay_cm = TRACER.span(
+        "replay.run", preset=config.preset, plane=config.plane,
+        steps=config.steps, arrivals_per_step=config.arrivals_per_step,
+    )
+    replay_cm.__enter__()
     scenario = _PRESETS[config.preset](seed=config.seed)
 
     with PERF.timed("replay.solve"):
@@ -205,6 +211,12 @@ def run_traffic_replay(config: Optional[ReplayConfig] = None) -> ReplayResult:
                         }
                     ):
                         result.flows_remapped += plane.remap(dead, to_prefix)
+                emit_event(
+                    "prefix_failure",
+                    step=step,
+                    dead_prefix=dead,
+                    flows_remapped=result.flows_remapped,
+                )
         batch = FlowBatch.synthesize(
             config.arrivals_per_step,
             seed=config.seed * 7919 + step,
@@ -213,19 +225,22 @@ def run_traffic_replay(config: Optional[ReplayConfig] = None) -> ReplayResult:
             mean_bytes=config.mean_flow_bytes,
         )
         start = time.perf_counter()
-        with PERF.timed("replay.step"):
-            forwarded = plane.forward(batch, selections, float(step))
+        with TRACER.span("replay.step", step=step, arrivals=len(batch)):
+            with PERF.timed("replay.step"):
+                forwarded = plane.forward(batch, selections, float(step))
         elapsed = time.perf_counter() - start
         PERF.counter("replay.flows_admitted").add(forwarded.admitted)
-        result.step_stats.append(
-            StepStats(
-                step=step,
-                admitted=forwarded.admitted,
-                unroutable=forwarded.unroutable,
-                live_flows=plane.flow_count(),
-                elapsed_s=elapsed,
-            )
+        stats = StepStats(
+            step=step,
+            admitted=forwarded.admitted,
+            unroutable=forwarded.unroutable,
+            live_flows=plane.flow_count(),
+            elapsed_s=elapsed,
         )
+        if math.isfinite(stats.flows_per_s):
+            PERF.histogram("replay.flows_per_s").observe(stats.flows_per_s)
+        PERF.gauge("replay.live_flows").set(stats.live_flows)
+        result.step_stats.append(stats)
 
     result.flows_by_destination = plane.destinations()
     result.bytes_by_destination = plane.bytes_by_destination()
@@ -239,6 +254,7 @@ def run_traffic_replay(config: Optional[ReplayConfig] = None) -> ReplayResult:
                 result.selection_share.get(prefix, 0.0)
                 + scenario.user_groups[sid].volume / total_volume
             )
+    replay_cm.__exit__(None, None, None)
     return result
 
 

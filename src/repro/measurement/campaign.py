@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.faults.schedule import FaultSchedule
 from repro.measurement.ping import DEFAULT_PING_COUNT, Pinger
 from repro.simulation.events import EventLoop
+from repro.telemetry import TRACER, emit_event
 from repro.topology.cloud import Peering
 from repro.usergroups.usergroup import UserGroup
 
@@ -112,6 +113,11 @@ class MeasurementCampaign:
         """
         config = self._config
         result = CampaignResult()
+        run_cm = TRACER.span(
+            "campaign.run", targets=len(targets), day=day,
+            faulted=faults is not None,
+        )
+        run_span = run_cm.__enter__()
         loop = EventLoop()
         interval_s = 1.0 / config.probes_per_second
         rng = random.Random(seed)
@@ -186,6 +192,21 @@ class MeasurementCampaign:
             else:
                 result.targets_unreachable += 1
                 result.stale_targets.discard(key)
+        run_span.tag("probes_sent", result.probes_sent)
+        run_span.tag("probes_lost", result.probes_lost)
+        run_span.tag("retries", result.retries)
+        run_cm.__exit__(None, None, None)
+        emit_event(
+            "campaign",
+            day=day,
+            targets=len(targets),
+            probes_sent=result.probes_sent,
+            probes_lost=result.probes_lost,
+            retries=result.retries,
+            measured=result.targets_measured,
+            unreachable=result.targets_unreachable,
+            stale=len(result.stale_targets),
+        )
         return result
 
 

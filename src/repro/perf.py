@@ -1,275 +1,46 @@
-"""Lightweight instrumentation: counters, timers, and cache statistics.
+"""Compatibility shim: the perf registry now lives in ``repro.telemetry``.
 
-Algorithm 1's ranked scan is the hot path of the whole reproduction —
-every learning iteration re-evaluates ``marginal()`` across peerings ×
-affected UGs — so its caches and evaluation counts are worth measuring,
-not guessing at.  This module is the single place that measurement lives:
+This module used to implement the counter/cache/timer registry.  That
+implementation moved to :mod:`repro.telemetry.metrics`, which extends it
+with gauges, fixed-bucket histograms, and Prometheus text export.  Every
+name this module ever exported is re-exported here unchanged, and
+:data:`PERF` *is* the :data:`repro.telemetry.metrics.METRICS` singleton —
+existing call sites (``from repro.perf import PERF``) keep sharing one
+registry with the new telemetry layer.
 
-* :class:`Counter` — a named monotonic event count (e.g. how many times
-  the orchestrator evaluated a marginal benefit);
-* :class:`CacheStats` — hit/miss accounting for one named cache (the
-  latency matrix, the candidate-ingress memo, the ground-truth memo);
-* :class:`TimerStats` — accumulated wall-clock over a named region;
-* :class:`PerfRegistry` — the registry that owns all of the above and
-  renders them (fixed-width text for the CLI, Markdown for reports).
+New code should import from :mod:`repro.telemetry` directly::
 
-Hot code asks the registry for a stat object **once** and then mutates a
-plain attribute (``counter.value += 1``), so instrumentation costs an
-attribute increment, not a dict lookup plus allocation.  ``reset()``
-zeroes stats *in place*, keeping every handed-out reference valid.
+    from repro.telemetry import METRICS          # was: from repro.perf import PERF
+    from repro.telemetry import MetricsRegistry  # was: PerfRegistry
 
-The module-level :data:`PERF` registry is what the production code uses;
-tests that need isolation can construct their own registry or call
-``PERF.reset()``.
+See docs/API.md ("Migrating from repro.perf") for the full mapping.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Mapping, Optional
+from repro.telemetry.metrics import (
+    METRICS,
+    CacheStats,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimerStats,
+)
 
+#: Historical aliases — ``PerfRegistry``/``PERF`` predate the telemetry
+#: subsystem.  They are the same objects, not copies.
+PerfRegistry = MetricsRegistry
+PERF = METRICS
 
-class Counter:
-    """A named monotonic event count."""
-
-    __slots__ = ("name", "value")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.value = 0
-
-    def add(self, n: int = 1) -> None:
-        self.value += n
-
-    def reset(self) -> None:
-        self.value = 0
-
-    def __repr__(self) -> str:
-        return f"Counter({self.name!r}, value={self.value})"
-
-
-class CacheStats:
-    """Hit/miss accounting for one named cache."""
-
-    __slots__ = ("name", "hits", "misses", "invalidations")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        lookups = self.lookups
-        return self.hits / lookups if lookups else 0.0
-
-    def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-
-    def __repr__(self) -> str:
-        return (
-            f"CacheStats({self.name!r}, hits={self.hits}, misses={self.misses}, "
-            f"invalidations={self.invalidations})"
-        )
-
-
-class TimerStats:
-    """Accumulated wall-clock time over a named region."""
-
-    __slots__ = ("name", "calls", "total_s")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.calls = 0
-        self.total_s = 0.0
-
-    def add(self, elapsed_s: float) -> None:
-        self.calls += 1
-        self.total_s += elapsed_s
-
-    @property
-    def mean_s(self) -> float:
-        return self.total_s / self.calls if self.calls else 0.0
-
-    def reset(self) -> None:
-        self.calls = 0
-        self.total_s = 0.0
-
-    def __repr__(self) -> str:
-        return f"TimerStats({self.name!r}, calls={self.calls}, total_s={self.total_s:.3f})"
-
-
-class PerfRegistry:
-    """Owns every named counter/cache/timer and renders them.
-
-    Stat objects are created on first request and survive :meth:`reset`
-    (which zeroes them in place), so hot paths can hold direct references
-    across resets.
-    """
-
-    def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._caches: Dict[str, CacheStats] = {}
-        self._timers: Dict[str, TimerStats] = {}
-
-    # -- stat acquisition ---------------------------------------------------
-
-    def counter(self, name: str) -> Counter:
-        stat = self._counters.get(name)
-        if stat is None:
-            stat = self._counters[name] = Counter(name)
-        return stat
-
-    def cache(self, name: str) -> CacheStats:
-        stat = self._caches.get(name)
-        if stat is None:
-            stat = self._caches[name] = CacheStats(name)
-        return stat
-
-    def timer(self, name: str) -> TimerStats:
-        stat = self._timers.get(name)
-        if stat is None:
-            stat = self._timers[name] = TimerStats(name)
-        return stat
-
-    @contextmanager
-    def timed(self, name: str) -> Iterator[TimerStats]:
-        """``with PERF.timed("solve"): ...`` — accumulate the block's time."""
-        stat = self.timer(name)
-        start = time.perf_counter()
-        try:
-            yield stat
-        finally:
-            stat.add(time.perf_counter() - start)
-
-    # -- lifecycle ----------------------------------------------------------
-
-    def reset(self) -> None:
-        """Zero every stat in place (handed-out references stay valid)."""
-        for stat in self._counters.values():
-            stat.reset()
-        for cache in self._caches.values():
-            cache.reset()
-        for timer in self._timers.values():
-            timer.reset()
-
-    def merge(self, snapshot: Mapping[str, Any]) -> None:
-        """Fold a :meth:`snapshot` from another registry (e.g. a parallel
-        experiment worker process) into this one, summing every stat."""
-        for name, value in snapshot.get("counters", {}).items():
-            self.counter(name).value += int(value)
-        for name, stats in snapshot.get("caches", {}).items():
-            cache = self.cache(name)
-            cache.hits += int(stats.get("hits", 0))
-            cache.misses += int(stats.get("misses", 0))
-            cache.invalidations += int(stats.get("invalidations", 0))
-        for name, stats in snapshot.get("timers", {}).items():
-            timer = self.timer(name)
-            timer.calls += int(stats.get("calls", 0))
-            timer.total_s += float(stats.get("total_s", 0.0))
-
-    # -- inspection ---------------------------------------------------------
-
-    def snapshot(self) -> Dict[str, Any]:
-        """Plain-data view of every stat (JSON-serializable)."""
-        return {
-            "counters": {name: c.value for name, c in sorted(self._counters.items())},
-            "caches": {
-                name: {
-                    "hits": s.hits,
-                    "misses": s.misses,
-                    "invalidations": s.invalidations,
-                    "hit_rate": s.hit_rate,
-                }
-                for name, s in sorted(self._caches.items())
-            },
-            "timers": {
-                name: {"calls": t.calls, "total_s": t.total_s, "mean_s": t.mean_s}
-                for name, t in sorted(self._timers.items())
-            },
-        }
-
-    def _active(self) -> bool:
-        snap = self.snapshot()
-        return bool(
-            any(snap["counters"].values())
-            or any(c["hits"] or c["misses"] for c in snap["caches"].values())
-            or any(t["calls"] for t in snap["timers"].values())
-        )
-
-    def render(self) -> str:
-        """Fixed-width text report for terminals."""
-        lines: List[str] = ["== performance counters =="]
-        if not self._active():
-            lines.append("(no activity recorded)")
-            return "\n".join(lines)
-        if any(c.value for c in self._counters.values()):
-            lines.append("-- counters --")
-            width = max(len(n) for n in self._counters)
-            for name, counter in sorted(self._counters.items()):
-                lines.append(f"{name.ljust(width)}  {counter.value}")
-        live_caches = {n: s for n, s in self._caches.items() if s.lookups or s.invalidations}
-        if live_caches:
-            lines.append("-- caches --")
-            width = max(len(n) for n in live_caches)
-            for name, s in sorted(live_caches.items()):
-                lines.append(
-                    f"{name.ljust(width)}  hits {s.hits}  misses {s.misses}  "
-                    f"hit-rate {100 * s.hit_rate:.1f}%  invalidations {s.invalidations}"
-                )
-        live_timers = {n: t for n, t in self._timers.items() if t.calls}
-        if live_timers:
-            lines.append("-- timers --")
-            width = max(len(n) for n in live_timers)
-            for name, t in sorted(live_timers.items()):
-                lines.append(
-                    f"{name.ljust(width)}  calls {t.calls}  total {t.total_s:.3f}s  "
-                    f"mean {1000 * t.mean_s:.2f}ms"
-                )
-        return "\n".join(lines)
-
-    def to_markdown(self, title: str = "Performance counters") -> str:
-        """Markdown section for inclusion in generated reports."""
-        lines = [f"## {title}", ""]
-        if not self._active():
-            lines.append("*No instrumented activity recorded.*")
-            lines.append("")
-            return "\n".join(lines)
-        if any(c.value for c in self._counters.values()):
-            lines.append("| counter | value |")
-            lines.append("|---|---|")
-            for name, counter in sorted(self._counters.items()):
-                lines.append(f"| {name} | {counter.value} |")
-            lines.append("")
-        live_caches = {n: s for n, s in self._caches.items() if s.lookups or s.invalidations}
-        if live_caches:
-            lines.append("| cache | hits | misses | hit rate | invalidations |")
-            lines.append("|---|---|---|---|---|")
-            for name, s in sorted(live_caches.items()):
-                lines.append(
-                    f"| {name} | {s.hits} | {s.misses} | {100 * s.hit_rate:.1f}% "
-                    f"| {s.invalidations} |"
-                )
-            lines.append("")
-        live_timers = {n: t for n, t in self._timers.items() if t.calls}
-        if live_timers:
-            lines.append("| timer | calls | total (s) | mean (ms) |")
-            lines.append("|---|---|---|---|")
-            for name, t in sorted(live_timers.items()):
-                lines.append(
-                    f"| {name} | {t.calls} | {t.total_s:.3f} | {1000 * t.mean_s:.2f} |"
-                )
-            lines.append("")
-        return "\n".join(lines)
-
-
-#: The process-wide registry used by instrumented production code.
-PERF = PerfRegistry()
+__all__ = [
+    "CacheStats",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "PERF",
+    "PerfRegistry",
+    "TimerStats",
+]

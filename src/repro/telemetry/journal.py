@@ -1,0 +1,240 @@
+"""Versioned JSONL run journal: every span and event of a run, in order.
+
+A :class:`RunJournal` collects two record kinds:
+
+* ``span`` records emitted by the :class:`~repro.telemetry.tracer.Tracer`
+  in span-completion order, and
+* ``event`` records — advertisements pushed, measurement rounds,
+  injected faults, failover remaps — emitted by instrumented code via
+  :meth:`RunJournal.record_event`.
+
+Records are kept in arrival order and stamped with a monotonically
+increasing ``seq``, so for a deterministic workload the journal itself is
+deterministic.  By default wall/CPU timings are **excluded** from the
+serialized form (``include_timings=False``): identical seeds then produce
+byte-identical JSONL files, which is the determinism gate
+``tests/test_telemetry_journal.py`` asserts.  The CLI enables timings so
+``repro trace`` can render real time breakdowns.
+
+The on-disk format is JSONL: one header line (``{"kind": "header",
+"journal_version": 1, ...}``) followed by one compact JSON object per
+record with sorted keys.  :func:`load_journal` reads it back and
+:func:`journal_to_result` reconstructs the per-phase time/benefit
+breakdown table rendered by ``repro trace``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.telemetry.tracer import Span
+
+#: Bump when the record schema changes shape incompatibly.
+JOURNAL_VERSION = 1
+
+_JSON_COMPACT = {"sort_keys": True, "separators": (",", ":")}
+
+
+class RunJournal:
+    """In-memory record stream with deterministic JSONL serialization."""
+
+    def __init__(
+        self,
+        run_name: str = "run",
+        include_timings: bool = False,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.run_name = run_name
+        self.include_timings = include_timings
+        self.meta: Dict[str, Any] = dict(meta) if meta else {}
+        self.records: List[Dict[str, Any]] = []
+        self._seq = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def record_span(self, span: Span) -> None:
+        """Sink for :meth:`Tracer.enable` — called on span completion."""
+        record = span.to_record()
+        if not self.include_timings:
+            del record["wall_s"]
+            del record["cpu_s"]
+        record["kind"] = "span"
+        self._append(record)
+
+    def record_event(self, event_type: str, **fields: Any) -> None:
+        """Record one domain event (advertisement, measurement, fault...).
+
+        Field names ``kind``/``event``/``seq`` are reserved for the record
+        envelope and rejected rather than silently clobbered.
+        """
+        for reserved in ("kind", "event", "seq"):
+            if reserved in fields:
+                raise ValueError(f"event field {reserved!r} is reserved")
+        record: Dict[str, Any] = {"kind": "event", "event": event_type}
+        record.update(fields)
+        self._append(record)
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        record["seq"] = self._seq
+        self._seq += 1
+        self.records.append(record)
+
+    # -- serialization ------------------------------------------------------
+
+    def header(self) -> Dict[str, Any]:
+        return {
+            "kind": "header",
+            "journal_version": JOURNAL_VERSION,
+            "run_name": self.run_name,
+            "include_timings": self.include_timings,
+            "meta": self.meta,
+        }
+
+    def to_jsonl(self) -> str:
+        """Serialize header + records as deterministic compact JSONL."""
+        lines = [json.dumps(self.header(), **_JSON_COMPACT)]
+        lines.extend(json.dumps(r, **_JSON_COMPACT) for r in self.records)
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+
+    # -- queries ------------------------------------------------------------
+
+    def spans(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r["kind"] == "span"]
+
+    def events(self, event_type: Optional[str] = None) -> List[Dict[str, Any]]:
+        out = [r for r in self.records if r["kind"] == "event"]
+        if event_type is not None:
+            out = [r for r in out if r["event"] == event_type]
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class LoadedJournal:
+    """A journal read back from JSONL — header metadata plus records."""
+
+    def __init__(self, header: Dict[str, Any], records: List[Dict[str, Any]]) -> None:
+        if header.get("kind") != "header":
+            raise ValueError("journal does not start with a header record")
+        version = header.get("journal_version")
+        if version != JOURNAL_VERSION:
+            raise ValueError(
+                f"unsupported journal version {version!r} "
+                f"(this build reads version {JOURNAL_VERSION})"
+            )
+        self.header = header
+        self.records = records
+
+    @property
+    def run_name(self) -> str:
+        return self.header.get("run_name", "run")
+
+    @property
+    def include_timings(self) -> bool:
+        return bool(self.header.get("include_timings", False))
+
+    def spans(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r.get("kind") == "span"]
+
+    def events(self, event_type: Optional[str] = None) -> List[Dict[str, Any]]:
+        out = [r for r in self.records if r.get("kind") == "event"]
+        if event_type is not None:
+            out = [r for r in out if r.get("event") == event_type]
+        return out
+
+    def timeline(self) -> List[Dict[str, Any]]:
+        """All records in seq order (the reconstructed run timeline)."""
+        return sorted(self.records, key=lambda r: r.get("seq", 0))
+
+
+def load_journal(path: str) -> LoadedJournal:
+    """Read a JSONL journal produced by :meth:`RunJournal.write`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [line for line in (l.strip() for l in fh) if line]
+    if not lines:
+        raise ValueError(f"journal {path!r} is empty")
+    header = json.loads(lines[0])
+    records = [json.loads(line) for line in lines[1:]]
+    return LoadedJournal(header, records)
+
+
+def journal_to_result(journal: LoadedJournal):
+    """Build the per-phase breakdown table ``repro trace`` renders.
+
+    Aggregates spans by name (count, total/mean wall time when the journal
+    carries timings) and appends event tallies, reusing the existing
+    :class:`~repro.experiments.harness.ExperimentResult` report machinery.
+    """
+    from repro.experiments.harness import ExperimentResult
+
+    spans = journal.spans()
+    events = journal.events()
+    with_timings = journal.include_timings
+
+    if with_timings:
+        result = ExperimentResult(
+            experiment_id="trace",
+            title=f"per-phase breakdown for {journal.run_name}",
+            columns=("phase", "spans", "total wall (s)", "mean wall (ms)", "cpu (s)"),
+        )
+    else:
+        result = ExperimentResult(
+            experiment_id="trace",
+            title=f"per-phase breakdown for {journal.run_name}",
+            columns=("phase", "spans"),
+        )
+
+    by_name: Dict[str, Dict[str, float]] = {}
+    order: List[str] = []
+    for span in spans:
+        name = span["name"]
+        agg = by_name.get(name)
+        if agg is None:
+            agg = by_name[name] = {"count": 0, "wall_s": 0.0, "cpu_s": 0.0}
+            order.append(name)
+        agg["count"] += 1
+        agg["wall_s"] += span.get("wall_s", 0.0)
+        agg["cpu_s"] += span.get("cpu_s", 0.0)
+
+    # Heaviest phases first when we know the timings; first-seen otherwise.
+    if with_timings:
+        order.sort(key=lambda n: -by_name[n]["wall_s"])
+    for name in order:
+        agg = by_name[name]
+        if with_timings:
+            count = int(agg["count"])
+            mean_ms = 1000.0 * agg["wall_s"] / count if count else 0.0
+            result.add_row(
+                name, count, f"{agg['wall_s']:.3f}", f"{mean_ms:.2f}",
+                f"{agg['cpu_s']:.3f}",
+            )
+        else:
+            result.add_row(name, int(agg["count"]))
+
+    if not spans:
+        result.add_note("journal contains no spans (was tracing enabled?)")
+    if not with_timings:
+        result.add_note(
+            "journal was written without timings (deterministic mode); "
+            "re-run with timings enabled for wall/CPU columns"
+        )
+
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event.get("event", "?")] = counts.get(event.get("event", "?"), 0) + 1
+    for event_type in sorted(counts):
+        result.add_note(f"event {event_type}: {counts[event_type]} recorded")
+
+    benefit_events = [e for e in events if "realized_benefit" in e]
+    if benefit_events:
+        last = benefit_events[-1]
+        result.add_note(
+            f"final realized benefit: {float(last['realized_benefit']):.4f}"
+        )
+    return result

@@ -284,6 +284,7 @@ def _perf_stats():
         PERF.counter("tm.flows_remapped"),
         PERF.counter("tm.flows_ended"),
         PERF.counter("tm.batches"),
+        PERF.histogram("tm.batch_flows"),
     )
 
 
@@ -308,6 +309,7 @@ class ScalarDataPlane(_InternerMixin):
             self._c_remapped,
             self._c_ended,
             self._c_batches,
+            self._h_batch,
         ) = _perf_stats()
 
     @property
@@ -379,6 +381,7 @@ class ScalarDataPlane(_InternerMixin):
         self._c_existing.add(existing)
         self._c_unroutable.add(unroutable)
         self._c_batches.add()
+        self._h_batch.observe(len(batch))
         return ForwardResult(
             assignments=out,
             admitted=admitted,
@@ -476,6 +479,7 @@ class VectorFlowTable(_InternerMixin):
             self._c_remapped,
             self._c_ended,
             self._c_batches,
+            self._h_batch,
         ) = _perf_stats()
 
     def __len__(self) -> int:
@@ -524,6 +528,7 @@ class VectorFlowTable(_InternerMixin):
         bytes_recorded = 0.0
         if n == 0:
             self._c_batches.add()
+            self._h_batch.observe(0)
             return ForwardResult(out, 0, 0, 0, 0.0)
 
         # Per-service selection lookup array (-1 = no live destination).
@@ -597,6 +602,7 @@ class VectorFlowTable(_InternerMixin):
         self._c_existing.add(existing)
         self._c_unroutable.add(unroutable)
         self._c_batches.add()
+        self._h_batch.observe(n)
         return ForwardResult(
             assignments=out,
             admitted=admitted,

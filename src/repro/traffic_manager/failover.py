@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.bgp.convergence import ConvergenceConfig, ConvergenceTrace, simulate_withdrawal
 from repro.faults.schedule import FaultSchedule
 from repro.simulation.events import EventLoop
+from repro.telemetry import TRACER, emit_event
 from repro.traffic_manager.dataplane import DataPlane, FlowBatch, VectorFlowTable
 from repro.traffic_manager.selection import LowestLatencySelector, SelectionPolicyConfig
 
@@ -340,6 +341,13 @@ def run_failover(
         if moved:
             remap_total[0] += moved
             remap_events.append((now_s, old, new, moved))
+            emit_event(
+                "failover_remap",
+                time_s=now_s,
+                dead_prefix=old,
+                new_prefix=new,
+                flows_moved=moved,
+            )
 
     def active_path() -> Optional[PathSpec]:
         prefix = selector.current
@@ -389,6 +397,9 @@ def run_failover(
             if state["down_since_s"] is None:
                 state["down_since_s"] = loop.now_s
                 downtimes.append(DowntimeEvent(prefix=prefix, detected_s=loop.now_s))
+                emit_event(
+                    "downtime_detected", prefix=prefix, detected_s=loop.now_s
+                )
                 logger.info(
                     "tunnel %s declared down at t=%.3fs", prefix, loop.now_s
                 )
@@ -432,7 +443,13 @@ def run_failover(
 
     loop.schedule_at(0.0, send_packet)
     loop.schedule_at(0.0, probe_paths)
-    loop.run_until(config.duration_s)
+    with TRACER.span(
+        "failover.run", paths=len(paths), duration_s=config.duration_s,
+        concurrent_flows=config.concurrent_flows,
+    ) as run_span:
+        loop.run_until(config.duration_s)
+        run_span.tag("downtime_events", len(downtimes))
+        run_span.tag("flows_remapped", remap_total[0])
 
     first_anycast = next((p.prefix for p in paths if p.is_anycast), None)
     first_epochs = epochs.get(first_anycast, []) if first_anycast else []

@@ -29,6 +29,7 @@ from typing import Any, Dict, FrozenSet, List, Mapping, Optional
 import numpy as np
 
 from repro.perf import PERF
+from repro.telemetry import TRACER, emit_event
 from repro.traffic_manager.dataplane import (
     DataPlane,
     FlowBatch,
@@ -156,8 +157,21 @@ class TMEdge:
             for prefix in sorted(tunnels):
                 state = tunnels[prefix]
                 if prefix != selected and not state.is_up:
-                    moved = self._plane.remap(prefix, selected)
+                    with TRACER.span(
+                        "tm_edge.remap_on_failover",
+                        service=service, dead=prefix, selected=selected,
+                    ) as span:
+                        moved = self._plane.remap(prefix, selected)
+                        span.tag("flows_moved", moved)
                     self._flows_remapped += moved
+                    if moved:
+                        emit_event(
+                            "failover_remap",
+                            service=service,
+                            dead_prefix=prefix,
+                            new_prefix=selected,
+                            flows_moved=moved,
+                        )
         return selected
 
     def selected_prefix(self, service: str) -> Optional[str]:
@@ -204,17 +218,19 @@ class TMEdge:
         selection, existing flows accumulate bytes on their immutable
         mapping, and flows of services with no live destination are dropped.
         """
-        with PERF.timed("tm_edge.forward_batch"):
-            return self._plane.forward(
-                batch, self.selections_by_service_id(), now_s
-            )
+        with TRACER.span("tm_edge.forward_batch", flows=len(batch)):
+            with PERF.timed("tm_edge.forward_batch"):
+                return self._plane.forward(
+                    batch, self.selections_by_service_id(), now_s
+                )
 
     def admit_batch(self, batch: FlowBatch, now_s: float) -> ForwardResult:
         """Pin a batch of new flows without byte accounting."""
-        with PERF.timed("tm_edge.forward_batch"):
-            return self._plane.admit(
-                batch, self.selections_by_service_id(), now_s
-            )
+        with TRACER.span("tm_edge.admit_batch", flows=len(batch)):
+            with PERF.timed("tm_edge.forward_batch"):
+                return self._plane.admit(
+                    batch, self.selections_by_service_id(), now_s
+                )
 
     def end_batch(self, keys: np.ndarray) -> int:
         """Retire a batch of flows by key; unknown keys are tolerated."""

@@ -285,6 +285,69 @@ class TestOrchestratorConfigAPI:
         with pytest.raises(ValueError):
             OrchestratorConfig(prefix_budget=0)
 
+    def test_legacy_positional_budget_with_extra_kwargs_coerced(
+        self, scenario_module
+    ):
+        import warnings
+
+        from repro.core.orchestrator import OrchestratorConfig
+
+        def fixed_latency(ug, pid):
+            return 42.0
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            orchestrator = PainterOrchestrator(
+                scenario_module,
+                3,
+                d_reuse_km=1234.0,
+                latency_of=fixed_latency,
+                allow_reuse=False,
+            )
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        # Every legacy kwarg must land in the resolved config, and the
+        # coerced form must equal the explicit modern construction.
+        assert orchestrator.config == OrchestratorConfig(
+            prefix_budget=3,
+            d_reuse_km=1234.0,
+            latency_of=fixed_latency,
+            allow_reuse=False,
+        )
+        assert orchestrator.config.d_reuse_km == 1234.0
+        assert orchestrator.config.latency_of is fixed_latency
+        assert orchestrator.config.allow_reuse is False
+
+    def test_budget_given_positionally_and_by_keyword_rejected(
+        self, scenario_module
+    ):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError, match="both positionally and by keyword"):
+                PainterOrchestrator(scenario_module, 3, prefix_budget=4)
+
+    def test_non_config_positional_rejected(self, scenario_module):
+        with pytest.raises(TypeError, match="must be an OrchestratorConfig"):
+            PainterOrchestrator(scenario_module, "4")
+
+    def test_legacy_kwargs_reach_model_and_evaluator(self, scenario_module):
+        """Coerced legacy kwargs must configure the same collaborators."""
+        import warnings
+
+        from repro.core.orchestrator import OrchestratorConfig
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = PainterOrchestrator(
+                scenario_module, prefix_budget=3, d_reuse_km=500.0
+            )
+        modern = PainterOrchestrator(
+            scenario_module, OrchestratorConfig(prefix_budget=3, d_reuse_km=500.0)
+        )
+        assert legacy.model.d_reuse_km == modern.model.d_reuse_km == 500.0
+        assert legacy.config == modern.config
+
     def test_legacy_solution_identical_to_config_solution(self, scenario_module):
         import warnings
 

@@ -184,6 +184,138 @@ class TestScalarVectorEquivalence:
         assert scalar.flow_count() == vector.flow_count() == 0
 
 
+class TestMixedOperationSequences:
+    """Property tests: arbitrary op interleavings with telemetry live.
+
+    Hypothesis drives both planes through mixed admit/record/remap/end/
+    snapshot sequences while a telemetry session (tracer + metrics) is
+    open — equivalence must hold at every step, and instrumentation must
+    observe the work without perturbing it.
+    """
+
+    OPS = st.lists(
+        st.tuples(
+            st.sampled_from(["forward", "remap", "end", "snapshot"]),
+            st.integers(0, 2**16),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+
+    @given(ops=OPS)
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_mixed_sequences_agree_with_metrics_enabled(self, ops):
+        from repro.perf import PERF
+        from repro.telemetry import telemetry_session
+
+        batches_before = PERF.histogram("tm.batch_flows").count
+        forwards = 0
+        with telemetry_session("tm-prop"):
+            scalar, vector = ScalarDataPlane(), VectorFlowTable()
+            selections = make_selections(4)
+            seen_keys = []
+            now = 0.0
+            for op, seed in ops:
+                now += 1.0
+                if op == "forward":
+                    batch = FlowBatch.synthesize(80, seed=seed, n_services=4)
+                    if seen_keys and seed % 2:
+                        old = seen_keys[-1][:20]
+                        batch = FlowBatch(
+                            keys=np.concatenate([batch.keys, old]),
+                            service_ids=np.concatenate(
+                                [batch.service_ids, np.zeros(len(old), dtype=np.int32)]
+                            ),
+                            payload_bytes=np.concatenate(
+                                [batch.payload_bytes, np.full(len(old), 7.0)]
+                            ),
+                        )
+                    rs = scalar.forward(batch, selections, now)
+                    rv = vector.forward(batch, selections, now)
+                    assert np.array_equal(rs.assignments, rv.assignments)
+                    assert (rs.admitted, rs.existing, rs.unroutable) == (
+                        rv.admitted, rv.existing, rv.unroutable
+                    )
+                    seen_keys.append(batch.keys)
+                    forwards += 1
+                elif op == "remap":
+                    src = PREFIXES[seed % len(PREFIXES)]
+                    dst = PREFIXES[(seed + 1) % len(PREFIXES)]
+                    assert scalar.remap(src, dst) == vector.remap(src, dst)
+                elif op == "end":
+                    if seen_keys:
+                        victims = seen_keys[seed % len(seen_keys)][: (seed % 50) + 1]
+                        assert scalar.end(victims) == vector.end(victims)
+                else:
+                    # Mid-sequence snapshot round-trip: both planes must
+                    # come back steering identically.
+                    scalar = plane_from_snapshot(scalar.to_snapshot())
+                    vector = plane_from_snapshot(vector.to_snapshot())
+                    assert isinstance(scalar, ScalarDataPlane)
+                    assert isinstance(vector, VectorFlowTable)
+                assert_planes_agree(scalar, vector)
+        # Metrics saw every forwarded batch (both planes observe).
+        assert (
+            PERF.histogram("tm.batch_flows").count
+            == batches_before + 2 * forwards
+        )
+
+    def test_snapshot_restore_journal_resume_round_trip(self):
+        """The journal keeps a coherent timeline across snapshot/restore."""
+        from repro.perf import PERF
+        from repro.telemetry import telemetry_session
+
+        selections = make_selections(3, include_none=False)
+        with telemetry_session("tm-resume") as journal:
+            vector = VectorFlowTable()
+            vector.forward(
+                FlowBatch.synthesize(300, seed=11, n_services=3), selections, 0.0
+            )
+            snapshot = vector.to_snapshot()
+            journal.record_event(
+                "tm_snapshot", flows=vector.flow_count(),
+                version=snapshot["version"],
+            )
+            restored = plane_from_snapshot(snapshot)
+            journal.record_event("tm_restore", flows=restored.flow_count())
+            more = FlowBatch.synthesize(150, seed=12, n_services=3)
+            a = vector.forward(more, selections, 1.0)
+            b = restored.forward(more, selections, 1.0)
+            assert np.array_equal(a.assignments, b.assignments)
+        assert_planes_agree_pair(vector, restored)
+        # The journal resumed recording after the restore with monotone
+        # seq numbers, and both lifecycle events are on the timeline.
+        seqs = [r["seq"] for r in journal.records]
+        assert seqs == sorted(seqs)
+        (snap_event,) = journal.events("tm_snapshot")
+        (restore_event,) = journal.events("tm_restore")
+        assert snap_event["flows"] == restore_event["flows"]
+        assert snap_event["seq"] < restore_event["seq"]
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_restored_planes_stay_equivalent(self, seed):
+        """Scalar and vector restored from snapshots keep agreeing."""
+        from repro.telemetry import telemetry_session
+
+        selections = make_selections(4)
+        with telemetry_session("tm-restore-prop"):
+            scalar, vector = ScalarDataPlane(), VectorFlowTable()
+            first = FlowBatch.synthesize(200, seed=seed, n_services=4)
+            scalar.forward(first, selections, 0.0)
+            vector.forward(first, selections, 0.0)
+            scalar = plane_from_snapshot(scalar.to_snapshot())
+            vector = plane_from_snapshot(vector.to_snapshot())
+            second = FlowBatch.synthesize(120, seed=seed + 1, n_services=4)
+            rs = scalar.forward(second, selections, 1.0)
+            rv = vector.forward(second, selections, 1.0)
+            assert np.array_equal(rs.assignments, rv.assignments)
+            moved_s = scalar.remap(PREFIXES[0], PREFIXES[2])
+            moved_v = vector.remap(PREFIXES[0], PREFIXES[2])
+            assert moved_s == moved_v
+            assert_planes_agree(scalar, vector)
+
+
 class TestSnapshots:
     def test_vector_round_trip(self):
         vector = VectorFlowTable()
