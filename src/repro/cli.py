@@ -89,10 +89,18 @@ def cmd_solve(args: argparse.Namespace) -> int:
 
     scenario = _scenario_from(args)
     orchestrator = PainterOrchestrator(
-        scenario, OrchestratorConfig(prefix_budget=args.budget, d_reuse_km=args.d_reuse)
+        scenario,
+        OrchestratorConfig(
+            prefix_budget=args.budget,
+            d_reuse_km=args.d_reuse,
+            workers=args.workers,
+        ),
     )
-    with _maybe_journal(args, "solve"):
-        result = orchestrator.learn(iterations=args.iterations)
+    try:
+        with _maybe_journal(args, "solve"):
+            result = orchestrator.learn(iterations=args.iterations)
+    finally:
+        orchestrator.close()
     config = result.final_config
     possible = scenario.total_possible_benefit()
     print(scenario.describe())
@@ -279,6 +287,11 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--budget", type=int, default=10, help="prefix budget")
     solve.add_argument("--iterations", type=int, default=3, help="learning iterations")
     solve.add_argument("--d-reuse", type=float, default=3000.0, help="D_reuse (km)")
+    solve.add_argument(
+        "--workers", type=int, default=0,
+        help="shard each solve across N fork workers (bit-identical results; "
+        "0 = serial)",
+    )
     solve.add_argument("--output", type=str, default=None, help="save config JSON here")
     solve.add_argument(
         "--journal", type=str, default=None,

@@ -126,6 +126,11 @@ class BenefitEvaluator:
         #: ingresses, built on first fast-path use (see :class:`PrefixScan`).
         #: Distances and true latencies are immutable, so no invalidation.
         self._scan_tables: Dict[int, Dict[int, Tuple[float, Optional[float]]]] = {}
+        #: Optional dense UG-row × peering-column latency matrix adopted from
+        #: a parallel fill (see :meth:`adopt_latency_matrix`).  ``nan`` means
+        #: "not computed", ``+inf`` encodes an unmeasurable ingress (None).
+        self._dense_lat = None
+        self._dense_rows: Optional[Dict[int, int]] = None
 
     def _scan_table(self, ug: UserGroup) -> Dict[int, Tuple[float, Optional[float]]]:
         table = self._scan_tables.get(ug.ug_id)
@@ -152,12 +157,59 @@ class BenefitEvaluator:
         col = self._lat_cols[peering_id]
         value = row[col]
         if value is _UNSET:
+            if self._dense_lat is not None:
+                dense_row = self._dense_rows.get(ug.ug_id)
+                if dense_row is not None:
+                    dense_value = self._dense_lat[dense_row, col]
+                    if dense_value == dense_value:  # not nan: slot was filled
+                        self._lat_stats.hits += 1
+                        value = (
+                            None if math.isinf(dense_value) else float(dense_value)
+                        )
+                        row[col] = value
+                        return value
             self._lat_stats.misses += 1
             value = self._latency_of(ug, peering_id)
             row[col] = value
         else:
             self._lat_stats.hits += 1
         return value
+
+    def adopt_latency_matrix(self, matrix) -> None:
+        """Serve :meth:`latency` lookups from a dense row-major matrix.
+
+        ``matrix`` is indexed ``[ug row, peering column]`` with UG rows in
+        ``scenario.user_groups`` order and peering columns in deployment
+        order (:attr:`peering_columns`).  Slot encoding: ``nan`` = not
+        computed (falls back to the latency source), ``+inf`` = computed but
+        unmeasurable (``None``), anything else = latency in ms.  The parallel
+        solver uses this to share one worker-filled shared-memory matrix with
+        the parent process instead of recomputing every entry serially.
+        """
+        self._dense_lat = matrix
+        if self._dense_rows is None:
+            self._dense_rows = {
+                ug.ug_id: i for i, ug in enumerate(self._scenario.user_groups)
+            }
+
+    def drop_latency_matrix(self) -> None:
+        """Stop consulting the adopted dense matrix (pool teardown).
+
+        Values already promoted into the per-UG rows stay; unseen slots
+        fall back to the (deterministic) latency source, so dropping the
+        matrix never changes what :meth:`latency` returns.
+        """
+        self._dense_lat = None
+
+    @property
+    def peering_columns(self) -> Dict[int, int]:
+        """Peering id → latency-matrix column, in deployment order."""
+        return dict(self._lat_cols)
+
+    @property
+    def latency_source(self) -> LatencyFn:
+        """The underlying (uncached) latency oracle."""
+        return self._latency_of
 
     def precompute_latency_matrix(
         self, user_groups: Optional[Sequence[UserGroup]] = None
@@ -189,9 +241,26 @@ class BenefitEvaluator:
         """One latency-matrix column, in ``user_groups`` order."""
         return [self.latency(ug, peering_id) for ug in user_groups]
 
-    def begin_prefix_scan(self) -> "PrefixScan":
-        """Start an incremental Eq.-2 session for one prefix's inner loop."""
-        return PrefixScan(self)
+    def begin_prefix_scan(
+        self,
+        *,
+        learned_ug_ids: Optional[Set[int]] = None,
+        table_source: Optional[
+            Callable[[UserGroup], Dict[int, Tuple[float, Optional[float]]]]
+        ] = None,
+    ) -> "PrefixScan":
+        """Start an incremental Eq.-2 session for one prefix's inner loop.
+
+        ``learned_ug_ids`` overrides the routing model's live learned set —
+        a parallel shard worker whose forked model is frozen at pool-creation
+        time passes the authoritative set it received from the parent.
+        ``table_source`` overrides how per-UG scan tables are built (shard
+        workers source them from the shared latency/distance matrices rather
+        than re-deriving each entry from the latency oracle).
+        """
+        return PrefixScan(
+            self, learned_ug_ids=learned_ug_ids, table_source=table_source
+        )
 
     # -- Eq. 2: modeled improvement -------------------------------------------
 
@@ -323,16 +392,26 @@ class PrefixScan:
     """
 
     __slots__ = (
-        "_ev", "_model", "_learned", "_tables", "_d_reuse", "_advertised",
-        "_frozen", "_states", "_fast_queries", "_slow_queries",
+        "_ev", "_model", "_learned", "_tables", "_table_source", "_d_reuse",
+        "_advertised", "_frozen", "_states", "_fast_queries", "_slow_queries",
     )
 
-    def __init__(self, evaluator: BenefitEvaluator) -> None:
+    def __init__(
+        self,
+        evaluator: BenefitEvaluator,
+        learned_ug_ids: Optional[Set[int]] = None,
+        table_source: Optional[
+            Callable[[UserGroup], Dict[int, Tuple[float, Optional[float]]]]
+        ] = None,
+    ) -> None:
         self._ev = evaluator
         self._model = evaluator.model
         # Bound once: the query path runs millions of times per solve.
-        self._learned = self._model.learned_ug_ids
+        self._learned = (
+            self._model.learned_ug_ids if learned_ug_ids is None else learned_ug_ids
+        )
         self._tables = evaluator._scan_tables
+        self._table_source = table_source
         self._d_reuse = self._model.d_reuse_km
         self._advertised: Set[int] = set()
         self._frozen: FrozenSet[int] = frozenset()
@@ -353,7 +432,7 @@ class PrefixScan:
         self._fast_queries.value += 1
         table = self._tables.get(ug_id)
         if table is None:
-            table = self._ev._scan_table(ug)
+            table = self._build_table(ug)
         dist_p, lat_p = table[peering_id]
         state = self._states.get(ug_id)
         if state is None:
@@ -372,6 +451,12 @@ class PrefixScan:
         if count == 0:
             return None
         return total / count
+
+    def _build_table(self, ug: UserGroup) -> Dict[int, Tuple[float, Optional[float]]]:
+        if self._table_source is not None:
+            table = self._tables[ug.ug_id] = self._table_source(ug)
+            return table
+        return self._ev._scan_table(ug)
 
     def current(self, ug: UserGroup) -> Optional[float]:
         """Expected latency of the accepted set as it stands."""
@@ -411,7 +496,7 @@ class PrefixScan:
                 continue
             table = self._tables.get(ug_id)
             if table is None:
-                table = self._ev._scan_table(ug)
+                table = self._build_table(ug)
             dist, lat = table[peering_id]
             state = self._states.get(ug_id)
             if state is None:

@@ -64,12 +64,19 @@ class OrchestratorConfig:
     #: Ablation knob: with reuse disabled each prefix is advertised via a
     #: single peering, reducing Algorithm 1 to a greedy one-per-peering.
     allow_reuse: bool = True
+    #: Intra-solve parallelism: shard marginal evaluations across this many
+    #: persistent fork workers (``repro.parallel``).  ``0`` or ``1`` solves
+    #: serially.  Results are bit-identical for every worker count; on any
+    #: worker failure the solve falls back to the serial path.
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.prefix_budget < 1:
             raise ValueError("prefix budget must be at least 1")
         if self.d_reuse_km < 0:
             raise ValueError("d_reuse_km must be non-negative")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
 
 
 def _coerce_orchestrator_config(
@@ -299,6 +306,13 @@ class PainterOrchestrator:
         self._aff_vol: Dict[int, "np.ndarray"] = {}
         self._aff_lat: Dict[int, "np.ndarray"] = {}
         self._aff_dist: Dict[int, "np.ndarray"] = {}
+        #: Parallel-solve state: the lazily created worker pool wrapper, a
+        #: finalizer that reaps it if the orchestrator is garbage-collected
+        #: unclosed, and a breaker that pins the orchestrator to the serial
+        #: path after a pool failure.
+        self._parallel = None
+        self._parallel_finalizer = None
+        self._parallel_broken = False
 
     @property
     def model(self) -> RoutingModel:
@@ -346,16 +360,110 @@ class PainterOrchestrator:
                 [model.distance_km(ug, pid) for ug in affected]
             )
 
+    # -- parallel-solve lifecycle -------------------------------------------
+
+    def close(self) -> None:
+        """Release the solve worker pool (if one was created)."""
+        self._teardown_parallel()
+
+    def __enter__(self) -> "PainterOrchestrator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _teardown_parallel(self, mark_broken: bool = False) -> None:
+        if mark_broken:
+            self._parallel_broken = True
+        solver = self._parallel
+        self._parallel = None
+        finalizer = self._parallel_finalizer
+        self._parallel_finalizer = None
+        if finalizer is not None:
+            finalizer.detach()
+        if solver is not None:
+            try:
+                solver.close()
+            except Exception:  # pragma: no cover - teardown best-effort
+                logger.debug("parallel solver teardown failed", exc_info=True)
+
+    def _ensure_parallel(self, n_workers: int):
+        """The lazily forked :class:`repro.parallel.ParallelSolver` (or None)."""
+        solver = self._parallel
+        if solver is not None:
+            if solver.n_workers == n_workers and solver.pool.alive():
+                return solver
+            # Worker died between solves (chaos kill) or the count changed:
+            # rebuild.  Forking from the current state is safe — workers
+            # never consult their inherited model's learned set, only the
+            # set the parent broadcasts at each solve's prep.
+            self._teardown_parallel()
+        import repro.parallel as parallel_mod
+
+        if not parallel_mod.parallel_enabled():
+            return None
+        try:
+            import weakref
+
+            solver = parallel_mod.ParallelSolver(self, n_workers)
+        except (parallel_mod.WorkerPoolError, OSError, ValueError) as exc:
+            logger.warning(
+                "parallel solver unavailable (%s); solving serially", exc
+            )
+            self._parallel_broken = True
+            return None
+        self._parallel = solver
+        self._parallel_finalizer = weakref.finalize(self, solver.close)
+        return solver
+
     # -- Algorithm 1, middle + inner loops ----------------------------------
 
-    def solve(self, record_curve: bool = False) -> AdvertisementConfig:
-        """Greedy allocation of the prefix budget (one outer-loop pass)."""
+    def solve(
+        self, record_curve: bool = False, workers: Optional[int] = None
+    ) -> AdvertisementConfig:
+        """Greedy allocation of the prefix budget (one outer-loop pass).
+
+        ``workers`` overrides ``OrchestratorConfig.workers`` for this call;
+        any value above 1 shards the marginal evaluations across a
+        persistent fork pool (``repro.parallel``) with bit-identical
+        results.  Worker failure falls back to the serial path.
+        """
         with TRACER.span("orchestrator.solve", budget=self._budget) as span:
             with PERF.timed("orchestrator.solve"):
-                config = self._solve(record_curve=record_curve)
+                config = self._solve_dispatch(record_curve, workers)
             span.tag("prefixes_used", config.prefix_count)
             span.tag("pairs_used", config.pair_count)
             return config
+
+    def _solve_dispatch(
+        self, record_curve: bool, workers: Optional[int]
+    ) -> AdvertisementConfig:
+        n_workers = self._config.workers if workers is None else workers
+        if n_workers > 1 and not self._parallel_broken:
+            solver = self._ensure_parallel(n_workers)
+            if solver is not None:
+                from repro.parallel import WorkerPoolError
+
+                try:
+                    return solver.solve(record_curve=record_curve)
+                except WorkerPoolError as exc:
+                    # Graceful degradation: the sharded solve is
+                    # deterministic, so re-running serially from scratch
+                    # produces exactly the configuration the pool would
+                    # have.  The breaker keeps later solves serial too —
+                    # a dead pool does not come back mid-experiment.
+                    logger.warning(
+                        "parallel solve failed (%s); falling back to serial",
+                        exc,
+                    )
+                    PERF.counter("parallel.fallbacks").add()
+                    emit_event(
+                        "parallel_fallback",
+                        reason=str(exc),
+                        workers=solver.n_workers,
+                    )
+                    self._teardown_parallel(mark_broken=True)
+        return self._solve(record_curve=record_curve)
 
     def _solve(self, record_curve: bool = False) -> AdvertisementConfig:
         scenario = self._scenario
@@ -707,6 +815,7 @@ class PainterOrchestrator:
         observed = 0
         missing = 0
         stale = 0
+        touched_ugs: Set[int] = set()
         obs_cm = TRACER.span(
             "orchestrator.execute_and_observe", iteration=iteration
         )
@@ -739,12 +848,19 @@ class PainterOrchestrator:
                     learned += self._model.observe(
                         ug, old_advertised, old_actual, stale=True
                     )
+                    touched_ugs.add(ug.ug_id)
                     stale += 1
                     continue
                 learned += self._model.observe(ug, advertised, actual.peering_id)
+                touched_ugs.add(ug.ug_id)
                 self._last_seen[cache_key] = (advertised, actual.peering_id)
                 observed += 1
         timer.add(time.perf_counter() - start)
+        if self._parallel is not None and touched_ugs:
+            # Epoch invalidation: forked workers hold per-solve layouts
+            # derived from a now-stale learned split; tell them to drop it
+            # (the next solve's prep re-sends the authoritative set).
+            self._parallel.invalidate(sorted(touched_ugs))
         obs_span.tag("observed", observed)
         obs_span.tag("missing", missing)
         obs_span.tag("stale", stale)

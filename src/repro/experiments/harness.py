@@ -87,11 +87,15 @@ def _init_experiment_worker() -> None:
 
     Several experiments construct the same preset world (same seed, same
     size); inside one worker process the preset cache makes the second and
-    later constructions free.
+    later constructions free.  Intra-solve parallelism is switched off:
+    experiment workers are already one-per-core, and nesting a solve pool
+    inside each would oversubscribe the machine (and fork a fork).
     """
+    from repro.parallel import disable_parallel
     from repro.scenario import enable_preset_cache
 
     enable_preset_cache()
+    disable_parallel()
 
 
 def _run_experiment_task(name: str) -> Tuple[str, "ExperimentResult", Dict[str, Any]]:

@@ -16,6 +16,7 @@ from repro.faults.events import (
     PopOutage,
     ProbeLoss,
     StaleMeasurement,
+    WorkerCrash,
 )
 from repro.faults.injector import (
     OUTCOME_MISSING,
@@ -40,4 +41,5 @@ __all__ = [
     "PopOutage",
     "ProbeLoss",
     "StaleMeasurement",
+    "WorkerCrash",
 ]

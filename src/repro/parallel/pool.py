@@ -1,0 +1,215 @@
+"""A persistent fork-based worker pool with a deterministic gather order.
+
+The pool forks ``n`` long-lived workers, each holding one handler object
+(built in the child from a factory closed over pre-fork state, so nothing
+is pickled) and one duplex control pipe.  ``broadcast`` sends a request to
+every worker and then collects replies **in worker-index order** — the
+ordering guarantee the parallel solver's bit-identical merge relies on.
+
+Failure model: any worker death (EOF/broken pipe — e.g. a chaos run
+SIGKILLing the process), reply timeout, or in-worker exception marks the
+whole pool broken and raises :class:`WorkerPoolError`.  The solver catches
+that, tears the pool down, and re-runs the solve serially; determinism
+makes the fallback result identical to what the pool would have produced.
+
+Fault injection: :func:`arm_worker_faults` subscribes a pool to a
+:class:`repro.faults.FaultInjector`, SIGKILLing the indexed worker when a
+:class:`repro.faults.WorkerCrash` event fires.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.telemetry import TRACER
+from repro.telemetry.metrics import METRICS
+
+#: Seconds a healthy worker gets to answer one request before the pool is
+#: declared broken.  Generous: requests are sub-second in practice.
+DEFAULT_TIMEOUT_S = 300.0
+
+
+class WorkerPoolError(RuntimeError):
+    """The pool can no longer serve requests (death, timeout, worker error)."""
+
+
+def _worker_main(
+    index: int,
+    conn,
+    make_handler: Callable[[int], Any],
+) -> None:
+    """Child process loop: dispatch pipe requests to the handler object."""
+    # Inherited telemetry state belongs to the parent: spans would interleave
+    # garbage into its journal, and inherited metric values would be counted
+    # twice on merge.  Workers start from zero and snapshot-and-reset on
+    # request.  (The forked child also shares the parent's resource-tracker
+    # process, so shared-memory bookkeeping is left strictly to the parent.)
+    TRACER.disable()
+    METRICS.reset()
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    handler = make_handler(index)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = message[0]
+        if op == "__stop__":
+            conn.send(("ok", None))
+            break
+        if op == "__ping__":
+            conn.send(("ok", index))
+            continue
+        if op == "__metrics__":
+            snap = METRICS.snapshot()
+            METRICS.reset()
+            conn.send(("ok", snap))
+            continue
+        try:
+            result = getattr(handler, op)(*message[1:])
+        except BaseException as exc:  # noqa: BLE001 - report, don't die
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        else:
+            conn.send(("ok", result))
+    conn.close()
+
+
+class WorkerPool:
+    """``n`` forked workers answering method calls over duplex pipes."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        make_handler: Callable[[int], Any],
+        *,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise WorkerPoolError("fork start method unavailable") from exc
+        self.n_workers = n_workers
+        self.timeout_s = timeout_s
+        self.broken = False
+        self._procs: List = []
+        self._conns: List = []
+        for index in range(n_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(index, child_conn, make_handler),
+                daemon=True,
+                name=f"repro-solve-worker-{index}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    # -- request/reply -------------------------------------------------------
+
+    def _recv(self, index: int) -> Any:
+        conn = self._conns[index]
+        try:
+            if not conn.poll(self.timeout_s):
+                raise WorkerPoolError(f"worker {index} timed out")
+            status, payload = conn.recv()
+        except WorkerPoolError:
+            self.broken = True
+            raise
+        except (EOFError, OSError) as exc:
+            self.broken = True
+            raise WorkerPoolError(f"worker {index} died: {exc!r}") from exc
+        if status != "ok":
+            self.broken = True
+            raise WorkerPoolError(f"worker {index} failed: {payload}")
+        return payload
+
+    def broadcast(self, op: str, *args: Any) -> List[Any]:
+        """Send ``op`` to every worker; gather replies in worker order."""
+        if self.broken:
+            raise WorkerPoolError("worker pool is broken")
+        message = (op,) + args
+        for index, conn in enumerate(self._conns):
+            try:
+                conn.send(message)
+            except (BrokenPipeError, OSError) as exc:
+                self.broken = True
+                raise WorkerPoolError(
+                    f"worker {index} unreachable: {exc!r}"
+                ) from exc
+        return [self._recv(index) for index in range(self.n_workers)]
+
+    def call(self, index: int, op: str, *args: Any) -> Any:
+        """Send ``op`` to one worker and wait for its reply."""
+        if self.broken:
+            raise WorkerPoolError("worker pool is broken")
+        try:
+            self._conns[index].send((op,) + args)
+        except (BrokenPipeError, OSError) as exc:
+            self.broken = True
+            raise WorkerPoolError(f"worker {index} unreachable: {exc!r}") from exc
+        return self._recv(index)
+
+    def ping(self) -> List[int]:
+        return self.broadcast("__ping__")
+
+    def collect_metrics(self) -> List[dict]:
+        """Snapshot-and-reset each worker's metrics registry."""
+        return self.broadcast("__metrics__")
+
+    # -- lifecycle / fault injection ----------------------------------------
+
+    def alive(self) -> bool:
+        return not self.broken and all(p.is_alive() for p in self._procs)
+
+    def kill_worker(self, index: int) -> bool:
+        """SIGKILL one worker (fault injection); returns whether it ran."""
+        proc = self._procs[index]
+        if not proc.is_alive():
+            return False
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.join(timeout=10.0)
+        return True
+
+    def close(self) -> None:
+        """Stop every worker, politely first, then by force."""
+        for index, conn in enumerate(self._conns):
+            try:
+                conn.send(("__stop__",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self.broken = True
+
+
+def arm_worker_faults(injector, pool: WorkerPool) -> None:
+    """Kill pool workers when the injector fires ``WorkerCrash`` events.
+
+    Chaos schedules can thereby exercise the parallel solver's serial
+    fallback exactly like any other fault: the listener SIGKILLs the
+    indexed worker on the event's down transition, and the next pool
+    request surfaces the death as :class:`WorkerPoolError`.
+    """
+    from repro.faults.events import WorkerCrash
+
+    def listener(time_s: float, event, went_down: bool) -> None:
+        if went_down and isinstance(event, WorkerCrash):
+            index = event.worker_index % pool.n_workers
+            pool.kill_worker(index)
+
+    injector.subscribe(listener)

@@ -1,0 +1,369 @@
+"""Row-sharded worker state for the parallel lazy-greedy solve.
+
+Each worker owns a contiguous range of UG rows ``[lo, hi)`` and performs,
+for those rows only, exactly the per-row work the serial ``_solve`` does:
+filling the latency/distance matrices, computing initial-heap gains, the
+vectorized part of a marginal refresh, and folding accepted peerings into
+an incremental :class:`repro.core.benefit.PrefixScan`.
+
+Bit-identity with the serial path rests on three invariants, all enforced
+here:
+
+* workers compute only **elementwise / per-row** quantities — every
+  floating-point *reduction* (``contrib.sum()``, the initial ``vol @ gain``
+  dot product, scalar shrink-correction accumulation) happens in the parent
+  over full arrays assembled in canonical row order, so the summation order
+  is the serial order regardless of worker count;
+* shard row ranges are contiguous and affected-UG lists are row-ascending
+  (``_invert_catalog`` walks UGs in scenario order), so concatenating
+  worker results in worker-index order reproduces the serial array layout
+  with no re-sorting;
+* the per-value math is the *same code* the serial path runs — the
+  deterministic latency/distance oracles, ``refresh_contrib`` below (a
+  verbatim transcription of the serial vector expression), and the shared
+  :class:`PrefixScan` — evaluated on the same IEEE doubles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.perf import PERF
+
+
+def shard_ranges(n_rows: int, n_workers: int) -> List[Tuple[int, int]]:
+    """Contiguous, near-even ``[lo, hi)`` row ranges, one per worker."""
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    base = n_rows // n_workers
+    extra = n_rows % n_workers
+    ranges = []
+    lo = 0
+    for i in range(n_workers):
+        hi = lo + base + (1 if i < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def refresh_contrib(
+    dist: "np.ndarray",
+    lat: "np.ndarray",
+    vol: "np.ndarray",
+    d0: "np.ndarray",
+    csum: "np.ndarray",
+    ccnt: "np.ndarray",
+    ob: "np.ndarray",
+    base: "np.ndarray",
+    d_reuse: float,
+) -> Tuple["np.ndarray", "np.ndarray"]:
+    """The serial refresh-marginal vector expression, row-for-row.
+
+    Returns ``(contrib, shrink)``: per-row volume-weighted improvements
+    (zeroed where the reuse window shrinks) and the shrink mask whose rows
+    need the exact scalar recomputation.
+    """
+    shrink = (dist < d0) & np.isfinite(d0)
+    limit = np.where(dist < d0, dist, d0) + d_reuse
+    measurable = ~np.isnan(lat)
+    add = (dist <= limit) & measurable
+    new_cnt = ccnt + add
+    new_sum = csum + np.where(add, lat, 0.0)
+    new_p = new_sum / np.maximum(new_cnt, 1)
+    new_best = np.where(new_cnt > 0, np.minimum(base, new_p), ob)
+    contrib = vol * (ob - new_best)
+    if shrink.any():
+        contrib[shrink] = 0.0
+    return contrib, shrink
+
+
+class ShardContext:
+    """Everything a worker inherits at fork time (built pre-fork, immutable).
+
+    Holds the scenario graph plus the shared-memory matrices.  Nothing in
+    here is pickled: under the ``fork`` start method children inherit the
+    parent's address space, and the :class:`SharedArray` segments map the
+    same physical pages in every process.
+    """
+
+    def __init__(
+        self,
+        scenario,
+        evaluator,
+        model,
+        affected: Dict[int, Sequence],
+        ug_index: Dict[int, int],
+        lat_mat,
+        dist_mat,
+        gain_buf,
+    ) -> None:
+        self.scenario = scenario
+        self.evaluator = evaluator
+        self.model = model
+        self.affected = affected
+        self.ug_index = ug_index
+        self.all_peering_ids: List[int] = sorted(affected)
+        self.col_of: Dict[int, int] = evaluator.peering_columns
+        self.n_ugs = len(scenario.user_groups)
+        self.d_reuse = model.d_reuse_km
+        self.lat_mat = lat_mat
+        self.dist_mat = dist_mat
+        self.gain_buf = gain_buf
+        #: Global row indices of each peering's affected UGs, ascending
+        #: (catalog inversion walks UGs in scenario order).
+        self.rows_np: Dict[int, "np.ndarray"] = {
+            pid: np.fromiter(
+                (ug_index[ug.ug_id] for ug in ugs), dtype=np.intp, count=len(ugs)
+            )
+            for pid, ugs in affected.items()
+        }
+        self.total_pairs = sum(len(ugs) for ugs in affected.values())
+
+
+class ShardState:
+    """One worker's mutable solve state over its row range ``[lo, hi)``.
+
+    The public methods are the worker protocol: ``fill``, ``prep``,
+    ``round_start``, ``refresh``, ``accept``, ``invalidate``.  All of them
+    run equally well in-process (the unit tests drive them directly) — the
+    pool merely moves the calls behind a pipe.
+    """
+
+    def __init__(self, ctx: ShardContext, lo: int, hi: int) -> None:
+        self.ctx = ctx
+        self.lo = lo
+        self.hi = hi
+        self.ugs = ctx.scenario.user_groups
+        # Same construction as the serial solve: python-float volumes and
+        # their float64 array image.
+        self.vol_list = [ug.volume for ug in self.ugs]
+        self.vol_arr = np.array(self.vol_list)
+        self._prepped = False
+        # Per-solve state (built by prep):
+        self.learned_rows: set = set()
+        self.local: Dict[int, Tuple["np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray"]] = {}
+        self.spans: Dict[int, Tuple[int, int]] = {}
+        self.shard_all: Dict[int, list] = {}
+        self.shard_unlearned: Dict[int, List[Tuple[object, int]]] = {}
+        # Per-round state (built by round_start):
+        self.scan = None
+        self.base_np: Optional["np.ndarray"] = None
+        self.base_list: Optional[list] = None
+        self.d0_arr: Optional["np.ndarray"] = None
+        self.csum_arr: Optional["np.ndarray"] = None
+        self.ccnt_arr: Optional["np.ndarray"] = None
+        self.ob_arr: Optional["np.ndarray"] = None
+        self._learned_frozen: FrozenSet[int] = frozenset()
+        self._fast_queries = PERF.counter("evaluator.scan_fast_queries")
+
+    # -- one-time: matrix fill ----------------------------------------------
+
+    def fill(self) -> int:
+        """Fill the shared latency/distance matrices for rows ``[lo, hi)``.
+
+        Uses the same deterministic oracles the serial precompute uses, so
+        every slot holds the exact double the serial solve would compute.
+        ``+inf`` encodes an unmeasurable ingress (``None``).
+        """
+        ctx = self.ctx
+        lat_mat = ctx.lat_mat
+        dist_mat = ctx.dist_mat
+        catalog = ctx.model.catalog
+        col_of = ctx.col_of
+        filled = 0
+        for row in range(self.lo, self.hi):
+            ug = self.ugs[row]
+            for pid in catalog.ingress_ids(ug):
+                col = col_of[pid]
+                lat = ctx.evaluator.latency(ug, pid)
+                lat_mat[row, col] = np.inf if lat is None else lat
+                dist_mat[row, col] = ctx.model.distance_km(ug, pid)
+                filled += 1
+        return filled
+
+    # -- per-solve: learned split + gain-buffer layout -----------------------
+
+    def prep(self, learned_ug_ids: Sequence[int]) -> int:
+        """Build this solve's per-peering local arrays and buffer spans.
+
+        ``learned_ug_ids`` is the authoritative learned set from the parent
+        (the worker's forked routing model is frozen at pool-creation time
+        and must not be consulted).  Learned rows are excluded here exactly
+        as the serial solve's keep-mask excludes them; the parent handles
+        all learned-row corrections itself.
+        """
+        ctx = self.ctx
+        self._learned_frozen = frozenset(learned_ug_ids)
+        ug_index = ctx.ug_index
+        learned_rows = {
+            ug_index[ug_id] for ug_id in learned_ug_ids if ug_id in ug_index
+        }
+        self.learned_rows = learned_rows
+        learned_sorted = np.fromiter(
+            sorted(learned_rows), dtype=np.intp, count=len(learned_rows)
+        )
+        lat_mat = ctx.lat_mat
+        dist_mat = ctx.dist_mat
+        lo, hi = self.lo, self.hi
+        local = {}
+        spans = {}
+        shard_all = {}
+        shard_unlearned = {}
+        off = 0
+        for pid in ctx.all_peering_ids:
+            rows = ctx.rows_np[pid]
+            if not learned_rows:
+                filt = rows
+            else:
+                filt = rows[~np.isin(rows, learned_sorted)]
+            left = int(np.searchsorted(filt, lo))
+            right = int(np.searchsorted(filt, hi))
+            sel = filt[left:right]
+            col = ctx.col_of[pid]
+            lat = lat_mat[sel, col].copy()
+            lat[np.isinf(lat)] = np.nan  # serial build_lat uses nan for None
+            dist = dist_mat[sel, col].copy()
+            local[pid] = (sel, lat, dist, self.vol_arr[sel])
+            spans[pid] = (off + left, right - left)
+            off += len(filt)
+            affected = ctx.affected[pid]
+            rows_list = rows.tolist()
+            in_shard = [
+                (ug, row)
+                for ug, row in zip(affected, rows_list)
+                if lo <= row < hi
+            ]
+            shard_all[pid] = [ug for ug, _ in in_shard]
+            shard_unlearned[pid] = [
+                (ug, row) for ug, row in in_shard if row not in learned_rows
+            ]
+        self.local = local
+        self.spans = spans
+        self.shard_all = shard_all
+        self.shard_unlearned = shard_unlearned
+        self._prepped = True
+        return off  # total (learned-filtered) pair count, all shards
+
+    # -- per-prefix round ----------------------------------------------------
+
+    def _table_source(self, ug):
+        """Scan table for one UG, sourced from the shared matrices."""
+        ctx = self.ctx
+        row = ctx.ug_index[ug.ug_id]
+        lat_mat = ctx.lat_mat
+        dist_mat = ctx.dist_mat
+        col_of = ctx.col_of
+        table = {}
+        for pid in ctx.model.catalog.ingress_ids(ug):
+            col = col_of[pid]
+            lat = lat_mat[row, col]
+            table[pid] = (
+                float(dist_mat[row, col]),
+                None if math.isinf(lat) else float(lat),
+            )
+        return table
+
+    def round_start(self, base_np: "np.ndarray") -> None:
+        """Reset per-prefix state and write this shard's initial gains.
+
+        Gains land in the shared buffer at each peering's span, giving the
+        parent the full serial ``fmax(base - lat, 0)`` vector per peering
+        once every worker has acknowledged; the parent then performs the
+        ``vol @ gain`` reduction itself.
+        """
+        ctx = self.ctx
+        self.base_np = base_np
+        self.base_list = base_np.tolist()
+        n = ctx.n_ugs
+        self.d0_arr = np.full(n, np.inf)
+        self.csum_arr = np.zeros(n)
+        self.ccnt_arr = np.zeros(n)
+        self.ob_arr = base_np.copy()
+        self.scan = ctx.evaluator.begin_prefix_scan(
+            learned_ug_ids=self._learned_frozen,
+            table_source=self._table_source,
+        )
+        gains = ctx.gain_buf
+        for pid in ctx.all_peering_ids:
+            sel, lat, _dist, _vol = self.local[pid]
+            start, count = self.spans[pid]
+            if count:
+                gains[start : start + count] = np.fmax(base_np[sel] - lat, 0.0)
+            self._fast_queries.value += count
+
+    def refresh(self, pids: Sequence[int]) -> List[Tuple["np.ndarray", list]]:
+        """Shard slice of the refresh marginal for each requested peering.
+
+        Returns, per peering, ``(contrib, corrections)``: the vectorized
+        per-row contributions (shrink rows zeroed) and the exact scalar
+        shrink corrections in ascending row order.  The parent concatenates
+        worker contribs and sums everything itself.
+        """
+        out = []
+        for pid in pids:
+            sel, lat, dist, vol = self.local[pid]
+            contrib, shrink = refresh_contrib(
+                dist,
+                lat,
+                vol,
+                self.d0_arr[sel],
+                self.csum_arr[sel],
+                self.ccnt_arr[sel],
+                self.ob_arr[sel],
+                self.base_np[sel],
+                self.ctx.d_reuse,
+            )
+            corrections = []
+            if shrink.any():
+                for pos in np.nonzero(shrink)[0]:
+                    row = int(sel[pos])
+                    ug = self.ugs[row]
+                    ob_s = self.ob_arr[row]
+                    new_p_s = self.scan.query(ug, pid)
+                    if new_p_s is None:
+                        continue
+                    base_s = self.base_list[row]
+                    new_best_s = new_p_s if new_p_s < base_s else base_s
+                    corrections.append(self.vol_list[row] * (ob_s - new_best_s))
+            self._fast_queries.value += len(lat)
+            out.append((contrib, corrections))
+        return out
+
+    def accept(self, pid: int) -> List[Tuple[int, Optional[float]]]:
+        """Fold an accepted peering into this shard's scan state.
+
+        Returns ``(row, expected latency)`` updates for the shard's
+        unlearned affected rows, exactly the values the serial accept loop
+        writes into ``exp_np``; the parent applies them and handles learned
+        rows itself.
+        """
+        self.scan.accept(pid, self.shard_all.get(pid, ()))
+        updates = []
+        for ug, row in self.shard_unlearned.get(pid, ()):
+            d0, ksum, kcnt, value = self.scan.kept_stats(ug)
+            self.d0_arr[row] = d0
+            self.csum_arr[row] = ksum
+            self.ccnt_arr[row] = kcnt
+            updates.append((row, value))
+            base = self.base_list[row]
+            self.ob_arr[row] = base if value is None or base < value else value
+        return updates
+
+    # -- epoch invalidation --------------------------------------------------
+
+    def invalidate(self, ug_ids: Sequence[int]) -> int:
+        """Drop per-solve state after the parent's model learned ``ug_ids``.
+
+        The next ``prep`` rebuilds the learned split from the authoritative
+        set the parent sends; dropping eagerly here makes it impossible for
+        a stale layout to survive an ``observe()`` between solves.
+        """
+        self._prepped = False
+        self.local = {}
+        self.spans = {}
+        self.shard_all = {}
+        self.shard_unlearned = {}
+        return len(tuple(ug_ids))

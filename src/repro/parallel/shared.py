@@ -1,0 +1,65 @@
+"""Shared-memory numpy arrays for the fork-based solver worker pool.
+
+The parallel solver shares the UG×peering latency and distance matrices —
+and a scratch buffer for per-round marginal gains — between the parent and
+its shard workers without pickling a single scenario object.  Each
+:class:`SharedArray` owns one POSIX shared-memory segment exposing a numpy
+view; segments are created by the parent *before* forking, so children
+inherit open file descriptors and simply map the same pages (MAP_SHARED:
+worker writes are immediately visible to the parent once the worker's reply
+arrives over the control pipe).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+class SharedArray:
+    """A numpy array backed by a named POSIX shared-memory segment."""
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        dtype: "np.dtype" = np.float64,
+        fill: float = np.nan,
+    ) -> None:
+        shape = tuple(int(s) for s in shape)
+        nbytes = int(np.dtype(dtype).itemsize * max(1, int(np.prod(shape))))
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self.shape: Tuple[int, ...] = shape
+        self.dtype = np.dtype(dtype)
+        self.array = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf)
+        if fill is not None:
+            self.array.fill(fill)
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self, unlink: bool = False) -> None:
+        """Release the local mapping (and destroy the segment if ``unlink``)."""
+        if self._closed:
+            return
+        self._closed = True
+        # Drop the numpy view first: SharedMemory.close() invalidates buf.
+        self.array = None
+        try:
+            self._shm.close()
+        except Exception:  # pragma: no cover - platform-dependent teardown
+            pass
+        if unlink:
+            try:
+                self._shm.unlink()
+            except Exception:  # pragma: no cover - already unlinked
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,367 @@
+"""The parent-side parallel solve driver.
+
+``ParallelSolver`` owns the shared-memory matrices, the fork pool of
+:class:`repro.parallel.shard.ShardState` workers, and a ``solve()`` that
+mirrors ``PainterOrchestrator._solve`` phase for phase:
+
+1. **fill** (once per pool): workers fill their row ranges of the shared
+   UG×peering latency/distance matrices; the parent adopts the latency
+   matrix so its own evaluator reads the same doubles without recomputing.
+2. **prep** (once per solve): the parent broadcasts the authoritative
+   learned-UG set; both sides derive the identical learned-filtered pair
+   layout of the gain buffer.
+3. **round_start** (once per prefix): workers write initial-heap gains into
+   the shared buffer; the parent performs every ``vol @ gain`` reduction
+   over the full canonical segments.
+4. **refresh / accept** (inner loop): workers return shard slices and
+   scalar corrections; the parent concatenates in worker order (== global
+   row order), sums, applies learned-row corrections, and drives the one
+   true heap.
+
+Refreshes are batched speculatively: alongside the popped peering, up to
+:data:`SPECULATIVE_REFRESHES` stale heap-top candidates ride the same
+round trip.  Their marginals are pure functions of the (version-stamped)
+round state, so caching them until the next accept changes nothing about
+the values the serial path would compute — it only saves pipe latency
+during re-push streaks.
+
+Every floating-point reduction happens here, in serial order, which is why
+``workers=N`` is bit-identical to the serial solve for every N.
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.advertisement import AdvertisementConfig
+from repro.parallel.pool import DEFAULT_TIMEOUT_S, WorkerPool, WorkerPoolError
+from repro.parallel.shard import ShardContext, ShardState, shard_ranges
+from repro.parallel.shared import SharedArray
+from repro.perf import PERF
+from repro.telemetry import TRACER
+from repro.telemetry.metrics import METRICS
+
+logger = logging.getLogger(__name__)
+
+#: Extra stale heap-top marginals refreshed per round trip (batched
+#: speculation; identical values, fewer pipe crossings).
+SPECULATIVE_REFRESHES = 3
+
+
+class ParallelSolver:
+    """Shards one orchestrator's lazy-greedy solve across forked workers."""
+
+    def __init__(
+        self,
+        orchestrator,
+        n_workers: int,
+        *,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ) -> None:
+        if n_workers < 2:
+            raise ValueError("parallel solve needs at least 2 workers")
+        self._orch = orchestrator
+        self.n_workers = n_workers
+        scenario = orchestrator._scenario
+        evaluator = orchestrator._evaluator
+        model = orchestrator._model
+        n_ugs = len(scenario.user_groups)
+        n_cols = len(evaluator.peering_columns)
+        self._lat = SharedArray((n_ugs, n_cols), fill=np.nan)
+        self._dist = SharedArray((n_ugs, n_cols), fill=np.nan)
+        total_pairs = sum(len(ugs) for ugs in orchestrator._affected.values())
+        self._gains = SharedArray((total_pairs,), fill=0.0)
+        ctx = ShardContext(
+            scenario,
+            evaluator,
+            model,
+            orchestrator._affected,
+            orchestrator._ug_index,
+            self._lat.array,
+            self._dist.array,
+            self._gains.array,
+        )
+        self._ctx = ctx
+        shards = shard_ranges(n_ugs, n_workers)
+
+        def make_handler(index: int, _ctx=ctx, _shards=tuple(shards)) -> ShardState:
+            lo, hi = _shards[index]
+            return ShardState(_ctx, lo, hi)
+
+        self.pool = WorkerPool(n_workers, make_handler, timeout_s=timeout_s)
+        self._filled = False
+        self._slow_queries = PERF.counter("evaluator.scan_slow_queries")
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.pool.close()
+        finally:
+            if self._filled:
+                self._orch._evaluator.drop_latency_matrix()
+            # Release the shard context's views so the mappings can unmap.
+            self._ctx.lat_mat = None
+            self._ctx.dist_mat = None
+            self._ctx.gain_buf = None
+            for arr in (self._lat, self._dist, self._gains):
+                arr.close(unlink=True)
+
+    def invalidate(self, ug_ids) -> None:
+        """Broadcast an epoch bump after the parent's model learned."""
+        if self.pool.broken:
+            return
+        try:
+            self.pool.broadcast("invalidate", tuple(ug_ids))
+        except WorkerPoolError:
+            pass  # surfaced (and fallen back from) at the next solve
+
+    def _ensure_filled(self) -> None:
+        if self._filled:
+            return
+        with PERF.timed("parallel.fill"):
+            self.pool.broadcast("fill")
+        # The parent's evaluator now reads the worker-computed doubles
+        # instead of re-deriving them serially.
+        self._orch._evaluator.adopt_latency_matrix(self._lat.array)
+        self._filled = True
+
+    # -- the solve -----------------------------------------------------------
+
+    def solve(self, record_curve: bool = False) -> AdvertisementConfig:
+        """One full Algorithm-1 budget allocation, sharded; see ``_solve``."""
+        # Imported here: repro.core.orchestrator lazily imports this module.
+        from repro.core.orchestrator import EPSILON_BENEFIT, _BENEFIT_BUCKETS
+
+        orch = self._orch
+        scenario = orch._scenario
+        evaluator = orch._evaluator
+        model = orch._model
+        pool = self.pool
+        config = AdvertisementConfig()
+        orch.budget_curve = []
+        PERF.counter("orchestrator.solve_calls").add()
+        PERF.counter("parallel.solve_calls").add()
+        marginal_evals = PERF.counter("orchestrator.marginal_evals")
+        naive_evals = PERF.counter("orchestrator.naive_marginal_evals")
+        repushes = PERF.counter("orchestrator.heap_repushes")
+        spec_hits = PERF.counter("parallel.speculative_hits")
+        refresh_rounds = PERF.counter("parallel.refresh_roundtrips")
+        marginal_hist = PERF.histogram(
+            "orchestrator.marginal_benefit", _BENEFIT_BUCKETS
+        )
+        self._ensure_filled()
+
+        ugs = scenario.user_groups
+        n_ugs = len(ugs)
+        budget = orch._budget
+        anycast_arr = np.array([scenario.anycast_latency_ms(ug) for ug in ugs])
+        vol_list = [ug.volume for ug in ugs]
+        vol_arr = np.array(vol_list)
+        all_peering_ids = self._ctx.all_peering_ids
+        rows_np = self._ctx.rows_np
+        affected_map = self._ctx.affected
+
+        exp_np = np.full((n_ugs, budget), np.inf)
+
+        # Per-solve learned split, mirrored on both sides of the pipe: the
+        # parent owns the live model; workers get the set explicitly.
+        learned_ids = tuple(sorted(model.learned_ug_ids))
+        learned_rows = {
+            orch._ug_index[ug_id]
+            for ug_id in learned_ids
+            if ug_id in orch._ug_index
+        }
+        learned_sorted = np.fromiter(
+            sorted(learned_rows), dtype=np.intp, count=len(learned_rows)
+        )
+        pool.broadcast("prep", learned_ids)
+        # Parent-side layout over the same learned-filtered pair ordering the
+        # workers derived: gain-buffer spans, filtered volumes, and the
+        # learned (UG, row) remainders the parent corrects for exactly.
+        spans: Dict[int, Tuple[int, int]] = {}
+        vol_f: Dict[int, "np.ndarray"] = {}
+        learned_aff: Dict[int, List[Tuple[object, int]]] = {}
+        off = 0
+        for pid in all_peering_ids:
+            rows = rows_np[pid]
+            if learned_rows:
+                filt = rows[~np.isin(rows, learned_sorted)]
+            else:
+                filt = rows
+            spans[pid] = (off, len(filt))
+            off += len(filt)
+            vol_f[pid] = vol_arr[filt]
+            if len(filt) != len(rows):
+                learned_aff[pid] = [
+                    (ug, row)
+                    for ug, row in zip(affected_map[pid], rows.tolist())
+                    if row in learned_rows
+                ]
+        gain_view = self._gains.array
+
+        def learned_query(ug, advertised: set, pid: int) -> Optional[float]:
+            # The parent-side image of PrefixScan.query's slow path.
+            self._slow_queries.value += 1
+            return evaluator.expected_prefix_latency(
+                ug, frozenset(advertised | {pid})
+            )
+
+        for prefix in range(budget):
+            with TRACER.span("orchestrator.prefix_scan", prefix=prefix) as scan_span:
+                advertised: set = set()
+                base_np = (
+                    np.minimum(anycast_arr, exp_np.min(axis=1))
+                    if n_ugs
+                    else anycast_arr
+                )
+                base_list = base_np.tolist()
+                cur_p: List[Optional[float]] = [None] * n_ugs
+                pool.broadcast("round_start", base_np)
+
+                version = 0
+                heap: List[Tuple[float, int, int]] = []
+                for pid in all_peering_ids:
+                    marginal_evals.add()
+                    start, count = spans[pid]
+                    delta = float(vol_f[pid] @ gain_view[start : start + count])
+                    for ug, row in learned_aff.get(pid, ()):
+                        base = base_list[row]
+                        new_p = learned_query(ug, advertised, pid)
+                        if new_p is not None and new_p < base:
+                            delta += vol_list[row] * (base - new_p)
+                    heap.append((-delta, version, pid))
+                heapq.heapify(heap)
+
+                #: pid -> refreshed delta, valid until the next accept.
+                speculative: Dict[int, float] = {}
+
+                def refresh_batch(primary: int) -> None:
+                    batch = [primary]
+                    if SPECULATIVE_REFRESHES and len(heap) > 1:
+                        for neg, seen_v, pid in sorted(heap[:8])[
+                            : SPECULATIVE_REFRESHES + 1
+                        ]:
+                            if (
+                                seen_v != version
+                                and pid != primary
+                                and pid not in advertised
+                                and pid not in speculative
+                                and len(batch) <= SPECULATIVE_REFRESHES
+                            ):
+                                batch.append(pid)
+                    refresh_rounds.add()
+                    replies = pool.broadcast("refresh", batch)
+                    for i, pid in enumerate(batch):
+                        contrib = np.concatenate(
+                            [reply[i][0] for reply in replies]
+                        )
+                        delta = float(contrib.sum())
+                        for reply in replies:
+                            for correction in reply[i][1]:
+                                delta += correction
+                        for ug, row in learned_aff.get(pid, ()):
+                            base_s = base_list[row]
+                            old_p = cur_p[row]
+                            old_best = (
+                                base_s
+                                if old_p is None or base_s < old_p
+                                else old_p
+                            )
+                            new_p_s = learned_query(ug, advertised, pid)
+                            if new_p_s is None:
+                                new_best_s = old_best
+                            elif new_p_s < base_s:
+                                new_best_s = new_p_s
+                            else:
+                                new_best_s = base_s
+                            delta += vol_list[row] * (old_best - new_best_s)
+                        speculative[pid] = delta
+
+                while heap:
+                    neg_delta, seen_version, pid = heapq.heappop(heap)
+                    if pid in advertised:
+                        continue
+                    if seen_version != version:
+                        marginal_evals.add()
+                        if pid in speculative:
+                            spec_hits.add()
+                        else:
+                            refresh_batch(pid)
+                        fresh = speculative.pop(pid)
+                        if heap and fresh < -heap[0][0] - EPSILON_BENEFIT:
+                            repushes.add()
+                            heapq.heappush(heap, (-fresh, version, pid))
+                            continue
+                        neg_delta = -fresh
+                    if -neg_delta <= EPSILON_BENEFIT:
+                        break  # no peering offers positive benefit
+                    marginal_hist.observe(-neg_delta)
+                    advertised.add(pid)
+                    config.add(prefix, pid)
+                    version += 1
+                    speculative.clear()
+                    for worker_updates in pool.broadcast("accept", pid):
+                        for row, value in worker_updates:
+                            cur_p[row] = value
+                            exp_np[row, prefix] = (
+                                np.inf if value is None else value
+                            )
+                    if pid in learned_aff:
+                        frozen = frozenset(advertised)
+                        for ug, row in learned_aff[pid]:
+                            # scan.current() equivalent for learned rows.
+                            value = evaluator.expected_prefix_latency(ug, frozen)
+                            cur_p[row] = value
+                            exp_np[row, prefix] = (
+                                np.inf if value is None else value
+                            )
+                    if not orch._allow_reuse:
+                        break  # one peering per prefix (ablation)
+
+                accepts = len(advertised)
+                n_peerings = len(all_peering_ids)
+                if orch._allow_reuse:
+                    naive_evals.add(
+                        (accepts + 1) * n_peerings
+                        - accepts * (accepts + 1) // 2
+                    )
+                else:
+                    naive_evals.add(n_peerings)
+                scan_span.tag("accepted", accepts)
+            if not advertised:
+                break  # nothing left anywhere
+            logger.debug(
+                "prefix %d advertised via %d peerings (parallel)",
+                prefix,
+                accepts,
+            )
+            if record_curve:
+                from repro.core.orchestrator import BudgetPoint
+
+                evaluation = evaluator.evaluate(config)
+                orch.budget_curve.append(
+                    BudgetPoint(
+                        prefixes_used=config.prefix_count,
+                        pairs_used=config.pair_count,
+                        estimated_benefit=evaluation.estimated,
+                        upper_benefit=evaluation.upper,
+                        lower_benefit=evaluation.lower,
+                        mean_benefit=evaluation.mean,
+                    )
+                )
+
+        # Fold each worker's per-solve metrics (scan counters, fill timers)
+        # into the parent registry; workers snapshot-and-reset so a
+        # persistent pool never double-counts across solves.
+        for snapshot in pool.collect_metrics():
+            METRICS.merge(snapshot)
+        return config

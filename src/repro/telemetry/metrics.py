@@ -281,7 +281,37 @@ class MetricsRegistry:
 
     def merge(self, snapshot: Mapping[str, Any]) -> None:
         """Fold a :meth:`snapshot` from another registry (e.g. a parallel
-        experiment worker process) into this one, summing every stat."""
+        experiment worker process) into this one, summing every stat.
+
+        Merging is atomic: every incompatibility (histogram bounds or bucket
+        shape drift between processes) is detected up front, before any stat
+        is touched, so a rejected snapshot leaves the registry exactly as it
+        was.  Stats the parent has never seen are created on the fly.
+        """
+        # Validate-first: a partially applied snapshot would silently skew
+        # every later report, which is worse than losing the snapshot.
+        for name, stats in snapshot.get("histograms", {}).items():
+            existing = self._histograms.get(name)
+            bounds = stats.get("bounds")
+            if existing is not None:
+                if (
+                    bounds is not None
+                    and tuple(float(b) for b in bounds) != existing.bounds
+                ):
+                    raise ValueError(
+                        f"histogram {name!r} already exists with different bounds"
+                    )
+                expected_buckets = len(existing.counts)
+            else:
+                expected_buckets = (
+                    len(bounds) + 1 if bounds is not None else len(DEFAULT_BUCKETS) + 1
+                )
+            counts = stats.get("counts", [])
+            if len(counts) != expected_buckets:
+                raise ValueError(
+                    f"histogram {name!r} snapshot has {len(counts)} buckets, "
+                    f"registry has {expected_buckets}"
+                )
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).value += int(value)
         for name, value in snapshot.get("gauges", {}).items():
@@ -298,11 +328,6 @@ class MetricsRegistry:
         for name, stats in snapshot.get("histograms", {}).items():
             hist = self.histogram(name, stats.get("bounds"))
             counts = stats.get("counts", [])
-            if len(counts) != len(hist.counts):
-                raise ValueError(
-                    f"histogram {name!r} snapshot has {len(counts)} buckets, "
-                    f"registry has {len(hist.counts)}"
-                )
             for i, c in enumerate(counts):
                 hist.counts[i] += int(c)
             hist.count += int(stats.get("count", 0))

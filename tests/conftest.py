@@ -2,7 +2,26 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+try:
+    from hypothesis import settings as _hyp_settings
+except ImportError:  # pragma: no cover - hypothesis is a test-only dependency
+    _hyp_settings = None
+
+if _hyp_settings is not None:
+    # CI runs with HYPOTHESIS_PROFILE=ci: no deadline (shared runners are
+    # noisy timers) and derandomized example generation, so a red property
+    # test reproduces identically on re-run instead of flaking.
+    _hyp_settings.register_profile("ci", deadline=None, derandomize=True)
+    _hyp_settings.register_profile("dev", deadline=None)
+    _hyp_settings.load_profile(
+        os.environ.get(
+            "HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev"
+        )
+    )
 
 from repro.scenario import Scenario, build_scenario, tiny_scenario
 from repro.topology.asn import ASRole, AutonomousSystem, Relationship

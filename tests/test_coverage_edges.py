@@ -1,0 +1,213 @@
+"""Edge-case units for dns/, egress/coexistence, and steering/pecan.
+
+These modules had happy-path coverage only; this file pins the error
+branches and boundary behavior (validation, degenerate inputs, tie-break
+rules) that the broader figure-level tests never reach.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dns.records import DNSRecord
+from repro.dns.resolvers import ResolverAssignment, ResolverConfig
+from repro.dns.trace import (
+    CLOUD_PROFILES,
+    TraceFlow,
+    bytes_yet_to_be_sent_curve,
+    extant_vs_cached_ratio,
+    generate_trace,
+    stale_traffic_fraction,
+)
+from repro.egress.coexistence import (
+    CoexistenceResult,
+    DirectionalModel,
+    EgressOptimizer,
+    evaluate_coexistence,
+)
+from repro.steering.pecan import best_single_isp, compare_pecan_to_painter, pecan_config
+
+
+def _flow(start_s, duration_s, bytes_total, ttl_s=60.0, issued_at_s=0.0):
+    record = DNSRecord(
+        hostname="svc.example", address="203.0.113.9", ttl_s=ttl_s,
+        issued_at_s=issued_at_s,
+    )
+    return TraceFlow(
+        cloud="cloud-x", record=record, start_s=start_s,
+        duration_s=duration_s, bytes_total=bytes_total,
+    )
+
+
+class TestTraceEdges:
+    def test_flow_validation(self):
+        with pytest.raises(ValueError):
+            _flow(0.0, 0.0, 100.0)  # non-positive duration
+        with pytest.raises(ValueError):
+            _flow(0.0, 10.0, -1.0)  # negative bytes
+
+    def test_bytes_after_boundaries(self):
+        # Record expires at 60; flow spans [100, 200).
+        flow = _flow(100.0, 100.0, 1000.0)
+        assert flow.bytes_after(0.0) == 1000.0  # threshold before start
+        assert flow.bytes_after(40.0) == 1000.0  # threshold == start
+        assert flow.bytes_after(90.0) == 500.0  # mid-flow, constant rate
+        assert flow.bytes_after(140.0) == 0.0  # threshold == end
+        assert flow.bytes_after(500.0) == 0.0  # long after
+
+    def test_started_after_expiry(self):
+        assert _flow(61.0, 10.0, 1.0).started_after_expiry
+        assert not _flow(59.0, 10.0, 1.0).started_after_expiry
+
+    def test_generate_trace_rejects_empty(self):
+        with pytest.raises(ValueError):
+            generate_trace(CLOUD_PROFILES[0], n_flows=0)
+
+    def test_curve_rejects_zero_byte_trace(self):
+        with pytest.raises(ValueError):
+            bytes_yet_to_be_sent_curve([_flow(0.0, 10.0, 0.0)], [0.0])
+
+    def test_extant_cached_ratio_infinite_without_cached_starts(self):
+        # A single flow that outlived its record: no cached-start bytes.
+        flow = _flow(30.0, 100.0, 1000.0)
+        assert extant_vs_cached_ratio([flow]) == math.inf
+
+    def test_stale_fraction_matches_curve_point(self):
+        flows = generate_trace(CLOUD_PROFILES[1], n_flows=50, seed=4)
+        offset = 60.0
+        fraction = stale_traffic_fraction(flows, offset)
+        assert fraction == bytes_yet_to_be_sent_curve(flows, [offset])[0][1]
+        assert 0.0 <= fraction <= 1.0
+
+
+class TestResolverEdges:
+    def test_uncorrelated_assignment_path(self, scenario):
+        assignment = ResolverAssignment(
+            scenario, ResolverConfig(seed=5, benefit_correlated=False)
+        )
+        assert all(
+            assignment.resolver_for(ug) is not None
+            for ug in scenario.user_groups
+        )
+
+    def test_everyone_public_when_fraction_is_one(self, scenario):
+        assignment = ResolverAssignment(
+            scenario, ResolverConfig(public_resolver_fraction=1.0)
+        )
+        for ug in scenario.user_groups:
+            assert assignment.resolver_for(ug).supports_ecs
+
+    def test_single_cluster_cannot_be_disparate(self, scenario):
+        # A radius spanning the globe makes one local resolver, so the
+        # disparate branch (needing >= 2) can never trigger.
+        assignment = ResolverAssignment(
+            scenario,
+            ResolverConfig(
+                public_resolver_fraction=0.0,
+                disparate_assignment_prob=1.0,
+                local_radius_km=50_000.0,
+            ),
+        )
+        names = {assignment.resolver_for(ug).name for ug in scenario.user_groups}
+        assert len(names) == 1
+        assert not next(iter(names)).startswith("public")
+
+    def test_unknown_ug_raises_keyerror(self, scenario):
+        assignment = ResolverAssignment(scenario)
+
+        class FakeUG:
+            ug_id = 10**9
+
+        with pytest.raises(KeyError, match="no resolver"):
+            assignment.resolver_for(FakeUG())
+
+
+class TestCoexistenceEdges:
+    def test_split_preserves_rtt_and_is_deterministic(self, scenario):
+        model = DirectionalModel(scenario, seed=2)
+        ug = scenario.user_groups[0]
+        peering = scenario.catalog.ingresses(ug)[0]
+        first = model.split(ug, peering)
+        again = model.split(ug, peering)
+        rtt = scenario.latency_model.latency_ms(ug, peering)
+        assert first.rtt_ms == pytest.approx(rtt)
+        assert (first.ingress_ms, first.egress_ms) == (
+            again.ingress_ms, again.egress_ms,
+        )
+
+    def test_zero_asymmetry_splits_evenly(self, scenario):
+        model = DirectionalModel(scenario, asymmetry=0.0)
+        ug = scenario.user_groups[0]
+        peering = scenario.catalog.ingresses(ug)[0]
+        split = model.split(ug, peering)
+        assert split.ingress_ms == pytest.approx(split.egress_ms)
+
+    @pytest.mark.parametrize("bad", [-0.01, 0.5, 1.0])
+    def test_asymmetry_validation(self, scenario, bad):
+        with pytest.raises(ValueError):
+            DirectionalModel(scenario, asymmetry=bad)
+
+    def test_optimized_egress_never_worse_than_default(self, scenario):
+        model = DirectionalModel(scenario, seed=3)
+        optimizer = EgressOptimizer(scenario, model)
+        for ug in scenario.user_groups[:10]:
+            assert optimizer.best_egress_ms(ug) <= optimizer.default_egress_ms(ug)
+
+    def test_additivity_degenerate_when_no_gain(self):
+        result = CoexistenceResult(
+            neither=100.0, painter_only=100.0, egress_only=100.0, both=100.0
+        )
+        assert result.painter_gain == 0.0
+        assert result.additivity == 1.0  # no individual gain: defined as 1
+
+    def test_combination_ordering(self, scenario):
+        from repro.core.orchestrator import OrchestratorConfig, PainterOrchestrator
+
+        config = PainterOrchestrator(
+            scenario, OrchestratorConfig(prefix_budget=3)
+        ).solve()
+        result = evaluate_coexistence(scenario, config)
+        assert result.both <= result.painter_only <= result.neither
+        assert result.both <= result.egress_only <= result.neither
+
+
+class TestPecanEdges:
+    def test_no_transit_peerings_raises(self, scenario, monkeypatch):
+        monkeypatch.setattr(
+            scenario.deployment, "transit_peerings", lambda: []
+        )
+        with pytest.raises(RuntimeError, match="no transit"):
+            best_single_isp(scenario)
+
+    def test_best_isp_is_an_actual_transit(self, scenario):
+        isp = best_single_isp(scenario)
+        transit_asns = {
+            p.peer_asn for p in scenario.deployment.transit_peerings()
+        }
+        assert isp in transit_asns
+
+    def test_unknown_isp_rejected(self, scenario):
+        with pytest.raises(ValueError, match="no peerings"):
+            pecan_config(scenario, budget=3, isp_asn=64_999)
+
+    def test_config_confined_to_single_isp_and_budget(self, scenario):
+        isp = best_single_isp(scenario)
+        config = pecan_config(scenario, budget=2, isp_asn=isp)
+        assert config.prefix_count <= 2
+        for prefix in config.prefixes:
+            for pid in config.peerings_for(prefix):
+                assert scenario.deployment.peering(pid).peer_asn == isp
+
+    def test_compare_reports_consistent_isp(self, scenario):
+        from repro.core.orchestrator import OrchestratorConfig, PainterOrchestrator
+
+        painter = PainterOrchestrator(
+            scenario, OrchestratorConfig(prefix_budget=3)
+        ).solve()
+        pecan_benefit, painter_benefit, isp = compare_pecan_to_painter(
+            scenario, 3, painter
+        )
+        assert isp == best_single_isp(scenario)
+        assert painter_benefit >= pecan_benefit

@@ -118,6 +118,89 @@ class TestPerfRegistry:
         assert parent.timer("solve").calls == 2
         assert parent.timer("solve").total_s == pytest.approx(3.0)
 
+    def test_merge_creates_worker_only_stats(self):
+        """Metrics only a worker ever touched must appear after the merge.
+
+        Regression guard for the solve-pool path: forked workers bump
+        counters/caches/timers/histograms the parent has never requested
+        (e.g. scan counters inside worker-side PrefixScans), and the merge
+        must materialize them rather than drop or mangle them.
+        """
+        worker = PerfRegistry()
+        worker.counter("worker.only_counter").add(2)
+        worker.gauge("worker.only_gauge").set(7.5)
+        worker.cache("worker.only_cache").hits += 3
+        worker.cache("worker.only_cache").invalidations += 1
+        worker.timer("worker.only_timer").add(0.5)
+        worker.histogram("worker.only_hist", (1.0, 10.0)).observe(4.0)
+
+        parent = PerfRegistry()
+        parent.merge(worker.snapshot())
+
+        assert parent.counter("worker.only_counter").value == 2
+        assert parent.gauge("worker.only_gauge").value == 7.5
+        assert parent.cache("worker.only_cache").hits == 3
+        assert parent.cache("worker.only_cache").invalidations == 1
+        assert parent.timer("worker.only_timer").calls == 1
+        hist = parent.histogram("worker.only_hist")
+        assert hist.bounds == (1.0, 10.0)
+        assert hist.count == 1
+        assert hist.counts == [0, 1, 0]
+        assert hist.min == 4.0
+        assert hist.max == 4.0
+
+    def test_merge_histograms_sum_counts_and_extremes(self):
+        worker = PerfRegistry()
+        for value in (0.5, 3.0, 99.0):
+            worker.histogram("h", (1.0, 10.0)).observe(value)
+        parent = PerfRegistry()
+        parent.histogram("h", (1.0, 10.0)).observe(5.0)
+        parent.merge(worker.snapshot())
+        hist = parent.histogram("h")
+        assert hist.count == 4
+        assert hist.counts == [1, 2, 1]
+        assert hist.min == 0.5
+        assert hist.max == 99.0
+
+    def test_merge_rejects_bounds_mismatch_atomically(self):
+        """An incompatible snapshot must leave the registry untouched.
+
+        The old merge raised on the histogram *after* counters, caches, and
+        timers had already been folded in, so a rejected worker snapshot
+        half-applied — every later report silently double-counted.  The
+        merge now validates first and mutates only if everything fits.
+        """
+        worker = PerfRegistry()
+        worker.counter("evals").add(7)
+        worker.timer("solve").add(1.0)
+        worker.histogram("lat", (1.0, 2.0)).observe(1.5)
+
+        parent = PerfRegistry()
+        parent.counter("evals").add(3)
+        parent.histogram("lat", (5.0, 10.0)).observe(6.0)
+
+        with pytest.raises(ValueError, match="different bounds"):
+            parent.merge(worker.snapshot())
+
+        # Nothing moved: not the counter, not the timer, not the histogram.
+        assert parent.counter("evals").value == 3
+        assert parent.timer("solve").calls == 0
+        assert parent.histogram("lat").count == 1
+        assert parent.histogram("lat").counts == [0, 1, 0]
+
+    def test_merge_rejects_malformed_bucket_counts_atomically(self):
+        worker = PerfRegistry()
+        worker.counter("evals").add(7)
+        snapshot = worker.snapshot()
+        snapshot["histograms"] = {
+            "lat": {"bounds": [1.0, 2.0], "counts": [1, 2], "count": 3, "sum": 4.0}
+        }
+        parent = PerfRegistry()
+        with pytest.raises(ValueError, match="buckets"):
+            parent.merge(snapshot)
+        assert parent.counter("evals").value == 0
+        assert "lat" not in parent.snapshot()["histograms"]
+
     def test_render_empty(self):
         reg = PerfRegistry()
         assert "no activity" in reg.render()
