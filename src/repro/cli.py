@@ -11,6 +11,8 @@ Commands:
 * ``perf``     — instrumented solve/learn: counters, timers, cache hit rates;
 * ``tm-bench`` — drive Zipf-weighted UG flow arrivals through the batched
   Traffic Manager data plane and report per-step steering throughput;
+* ``controller`` — run the continuous-operation controller daemon over a
+  delta stream with crash-safe checkpointing and warm-start re-solve;
 * ``trace``    — render the per-phase time/benefit breakdown of a JSONL run
   journal written by ``--journal`` (on solve/chaos/tm-bench).
 
@@ -94,6 +96,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
             prefix_budget=args.budget,
             d_reuse_km=args.d_reuse,
             workers=args.workers,
+            worker_timeout_s=args.worker_timeout,
         ),
     )
     try:
@@ -254,6 +257,67 @@ def cmd_tm_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_controller(args: argparse.Namespace) -> int:
+    """Run the continuous-operation controller daemon over a delta stream."""
+    from repro.controller import (
+        ControllerConfig,
+        PainterController,
+        load_deltas,
+        synthetic_deltas,
+    )
+    from repro.core.orchestrator import OrchestratorConfig
+
+    scenario = _scenario_from(args)
+    if args.deltas:
+        deltas = load_deltas(args.deltas)
+    else:
+        deltas = synthetic_deltas(
+            scenario, iterations=args.synthetic, seed=args.delta_seed
+        )
+    controller = PainterController(
+        scenario,
+        OrchestratorConfig(prefix_budget=args.budget, d_reuse_km=args.d_reuse),
+        ControllerConfig(
+            checkpoint_dir=args.checkpoint_dir,
+            journal_path=args.journal,
+            checkpoint_keep=args.keep,
+            warm_start=not args.cold,
+            verify_every=args.verify_every,
+            max_retries=args.max_retries,
+            iteration_timeout_s=args.iteration_timeout,
+            max_iterations=args.max_iterations,
+            crash_at_seq=args.crash_at,
+            crash_point=args.crash_point,
+        ),
+        deltas,
+    )
+    try:
+        result = controller.run()
+    finally:
+        controller.close()
+    if result.resumed_from is not None:
+        print(f"resumed from checkpoint {result.resumed_from}")
+    for entry in result.timeline:
+        print(
+            f"iter {entry['iteration']}: {entry['mode']} "
+            f"({entry['reconverge_s'] * 1000:.1f} ms)"
+        )
+    print(
+        f"ran {result.iterations_run} iterations, "
+        f"{result.deltas_applied} deltas applied, "
+        f"{result.degradations} degradations, {result.divergences} divergences"
+    )
+    if result.final_config is not None:
+        print(f"final: {result.final_config}")
+        if args.output:
+            from repro.io import save_config
+
+            save_config(result.final_config, args.output)
+            print(f"saved configuration to {args.output}")
+    print(f"checkpoints in {result.checkpoint_dir}, journal at {result.journal_path}")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Render the per-phase breakdown of a run journal."""
     from repro.telemetry import journal_to_result, load_journal
@@ -291,6 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=0,
         help="shard each solve across N fork workers (bit-identical results; "
         "0 = serial)",
+    )
+    solve.add_argument(
+        "--worker-timeout", type=float, default=None,
+        help="seconds to wait on a worker reply before breaking the pool "
+        "and falling back serial (default: no timeout)",
     )
     solve.add_argument("--output", type=str, default=None, help="save config JSON here")
     solve.add_argument(
@@ -382,6 +451,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSONL run journal here (render with `repro trace`)",
     )
     tm_bench.set_defaults(func=cmd_tm_bench)
+
+    controller = sub.add_parser(
+        "controller",
+        help="run the continuous-operation controller daemon (crash-safe, "
+        "warm-start re-solve)",
+    )
+    _add_scenario_args(controller)
+    controller.add_argument("--budget", type=int, default=4, help="prefix budget")
+    controller.add_argument("--d-reuse", type=float, default=3000.0, help="D_reuse (km)")
+    controller.add_argument(
+        "--checkpoint-dir", required=True,
+        help="checkpoint directory (an existing checkpoint resumes the run)",
+    )
+    controller.add_argument(
+        "--journal", type=str, default=None,
+        help="journal path (default: <checkpoint-dir>/journal.jsonl)",
+    )
+    controller.add_argument(
+        "--keep", type=int, default=3, help="checkpoints retained on disk"
+    )
+    controller.add_argument(
+        "--deltas", type=str, default=None,
+        help="delta stream JSON (from repro.controller.save_deltas)",
+    )
+    controller.add_argument(
+        "--synthetic", type=int, default=8,
+        help="iterations of seeded synthetic deltas when --deltas is absent",
+    )
+    controller.add_argument(
+        "--delta-seed", type=int, default=0, help="synthetic delta stream seed"
+    )
+    controller.add_argument(
+        "--cold", action="store_true",
+        help="disable warm-starting (every iteration re-solves from scratch)",
+    )
+    controller.add_argument(
+        "--verify-every", type=int, default=0,
+        help="cold-verify the warm solver every N iterations (0 = never)",
+    )
+    controller.add_argument(
+        "--max-retries", type=int, default=2,
+        help="re-solve attempts before degrading to last-known-good",
+    )
+    controller.add_argument(
+        "--iteration-timeout", type=float, default=None,
+        help="SIGALRM watchdog seconds per solve attempt",
+    )
+    controller.add_argument(
+        "--max-iterations", type=int, default=None, help="hard iteration cap"
+    )
+    controller.add_argument(
+        "--output", type=str, default=None, help="save the final config JSON here"
+    )
+    controller.add_argument(
+        "--crash-at", type=int, default=None,
+        help="crash injection: SIGKILL self at this iteration (testing)",
+    )
+    controller.add_argument(
+        "--crash-point", default="before_checkpoint",
+        choices=("mid_journal", "before_checkpoint", "after_checkpoint"),
+        help="where in the iteration the injected crash fires",
+    )
+    controller.set_defaults(func=cmd_controller)
 
     trace = sub.add_parser(
         "trace", help="render the per-phase breakdown of a run journal"

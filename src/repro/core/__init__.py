@@ -33,6 +33,8 @@ from repro.core.orchestrator import (
     ObservationReport,
     OrchestratorConfig,
     PainterOrchestrator,
+    SolveMemo,
+    WarmSolveStats,
 )
 from repro.core.routing_model import DEFAULT_D_REUSE_KM, RoutingModel
 
@@ -59,6 +61,8 @@ __all__ = [
     "OrchestratorConfig",
     "PainterOrchestrator",
     "RoutingModel",
+    "SolveMemo",
+    "WarmSolveStats",
     "anycast_config",
     "best_prefix_choices",
     "one_per_peering",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import heapq
 import logging
+import math
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -69,6 +70,13 @@ class OrchestratorConfig:
     #: serially.  Results are bit-identical for every worker count; on any
     #: worker failure the solve falls back to the serial path.
     workers: int = 0
+    #: Per-message worker-pool timeout in seconds; ``None`` uses the pool
+    #: default (``repro.parallel.pool.DEFAULT_TIMEOUT_S``).
+    worker_timeout_s: Optional[float] = None
+    #: After a pool failure trips the serial-fallback breaker, retry the
+    #: parallel path once this many consecutive solves have run serially.
+    #: ``0`` keeps the pre-existing behavior: broken stays broken forever.
+    parallel_retry_solves: int = 3
 
     def __post_init__(self) -> None:
         if self.prefix_budget < 1:
@@ -77,6 +85,10 @@ class OrchestratorConfig:
             raise ValueError("d_reuse_km must be non-negative")
         if self.workers < 0:
             raise ValueError("workers must be non-negative")
+        if self.worker_timeout_s is not None and self.worker_timeout_s <= 0:
+            raise ValueError("worker_timeout_s must be positive")
+        if self.parallel_retry_solves < 0:
+            raise ValueError("parallel_retry_solves must be non-negative")
 
 
 def _coerce_orchestrator_config(
@@ -132,6 +144,75 @@ def _coerce_orchestrator_config(
     if allow_reuse is not None:
         kwargs["allow_reuse"] = allow_reuse
     return OrchestratorConfig(**kwargs)
+
+
+@dataclass
+class _PrefixMemo:
+    """Everything one prefix's inner-loop scan computed, for replay.
+
+    ``accepts`` is the ordered accepted-peering sequence; ``build`` the
+    initial-heap marginal per peering; ``refresh`` the lazily recomputed
+    marginal keyed by ``(version, peering_id)`` — the version stamp is the
+    number of accepts that preceded the recomputation, which (together
+    with the static per-peering arrays and the peering's UG volumes) fully
+    determines the value.
+    """
+
+    accepts: List[int] = field(default_factory=list)
+    build: Dict[int, float] = field(default_factory=dict)
+    refresh: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    #: Per-refresh summation breakdown keyed like ``refresh``:
+    #: ``(contrib_vector, learned_terms)`` where ``contrib_vector`` is the
+    #: per-row contribution array of the vectorized path (shrink rows hold
+    #: their exact scalar term) and ``learned_terms`` the ordered scalar
+    #: additions of the learned loop.  A volume shift changes only the
+    #: shifted UG's entries, so the next warm solve can substitute those
+    #: rows and re-run the *same* float summation — bit-equal to a full
+    #: recomputation at a tiny fraction of the cost (see the volume-patch
+    #: path in ``_solve``).
+    detail: Dict[Tuple[int, int], tuple] = field(default_factory=dict)
+
+
+@dataclass
+class SolveMemo:
+    """A recorded solve, replayable by :meth:`PainterOrchestrator.solve_warm`.
+
+    Warm-start soundness rests on one invariant: every marginal is a pure
+    function of (the accept sequence so far, the peering's static
+    latency/distance arrays, the volumes of the peering's affected UGs).
+    The scan state (``d0``/``csum``/``ccnt``/``ob``/``exp_np``) is
+    volume-free and evolves only through accepts, so while a replay's
+    accept sequence still matches this memo's, a memoized marginal for a
+    *clean* peering (none of its UGs' volumes changed, not toggled, no
+    learned-set change touching it) is bit-equal to what a cold solve
+    would recompute.  The first divergence flips ``intact`` off and every
+    later value is computed fresh — the replay is then simply a cold solve.
+    """
+
+    budget: int = 0
+    allow_reuse: bool = True
+    learned_rows: FrozenSet[int] = frozenset()
+    active_peerings: FrozenSet[int] = frozenset()
+    prefixes: List[_PrefixMemo] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class WarmSolveStats:
+    """Accounting of one :meth:`PainterOrchestrator.solve_warm` call."""
+
+    #: ``"warm"`` when a usable memo existed, else ``"cold"``.
+    mode: str
+    #: Peerings whose marginals a delta could have touched (recomputed).
+    dirty_peerings: int
+    #: Memoized marginals reused verbatim.
+    reused_evals: int
+    #: Marginals computed fresh (dirty peerings + post-divergence work).
+    fresh_evals: int
+    #: True when the replayed accept sequence departed from the memo's.
+    diverged: bool
+    #: Volume-dirty marginals rebuilt by patching the memoized summation
+    #: (bit-equal to a fresh evaluation, ~10x cheaper).
+    patched_evals: int = 0
 
 
 @dataclass(frozen=True)
@@ -309,10 +390,32 @@ class PainterOrchestrator:
         #: Parallel-solve state: the lazily created worker pool wrapper, a
         #: finalizer that reaps it if the orchestrator is garbage-collected
         #: unclosed, and a breaker that pins the orchestrator to the serial
-        #: path after a pool failure.
+        #: path after a pool failure (with an optional retry budget — see
+        #: ``OrchestratorConfig.parallel_retry_solves``).
         self._parallel = None
         self._parallel_finalizer = None
         self._parallel_broken = False
+        self._solves_since_break = 0
+        #: Warm-start state: the memo of the last recorded solve, the set
+        #: of peerings a world mutation has dirtied since, peerings taken
+        #: administratively down, and a generation counter forked worker
+        #: pools compare against (mutations invalidate forked snapshots).
+        self._memo: Optional[SolveMemo] = None
+        self._dirty_pids: Set[int] = set()
+        #: Volume-only dirt, tracked per peering at UG-row granularity: a
+        #: volume shift changes marginal *weights* but no scan state, so
+        #: the next warm solve can patch the memoized summation instead of
+        #: recomputing it (see the volume-patch path in ``_solve``).
+        #: Structural dirt in ``_dirty_pids`` always wins over an entry
+        #: here.
+        self._dirty_vol_rows: Dict[int, Set[int]] = {}
+        self._disabled_peerings: Set[int] = set()
+        self._world_epoch = 0
+        #: Cached learned-rows split of the static arrays (keyed by the
+        #: learned-row set): rebuilding it is a Python loop over every
+        #: (peering, UG) pair, which would dominate warm re-solves.
+        self._split_cache = None
+        self.last_warm_stats: Optional[WarmSolveStats] = None
 
     @property
     def model(self) -> RoutingModel:
@@ -360,6 +463,232 @@ class PainterOrchestrator:
                 [model.distance_km(ug, pid) for ug in affected]
             )
 
+    def _learned_split(self, learned_rows: Set[int]):
+        """Static arrays split into vectorized (unlearned) and exact parts.
+
+        Cached by learned-row set: the split is a Python loop over every
+        (peering, UG) pair, far too slow to repeat on every warm re-solve
+        when the learned set has not moved.  Volume mutations patch the
+        cached arrays in place (see :meth:`apply_volume_shift`).
+        """
+        if not learned_rows:
+            return (
+                self._aff_idx,
+                self._aff_vol,
+                self._aff_lat,
+                self._aff_dist,
+                {},
+            )
+        key = frozenset(learned_rows)
+        cached = self._split_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        build_idx: Dict[int, "np.ndarray"] = {}
+        build_vol: Dict[int, "np.ndarray"] = {}
+        build_lat: Dict[int, "np.ndarray"] = {}
+        build_dist: Dict[int, "np.ndarray"] = {}
+        learned_aff: Dict[int, List[Tuple[UserGroup, int]]] = {}
+        masks: Dict[int, "np.ndarray"] = {}
+        for pid, affected in self._affected.items():
+            rows = self._aff_rows[pid]
+            keep = np.array(
+                [row not in learned_rows for row in rows], dtype=bool
+            )
+            if keep.all():
+                build_idx[pid] = self._aff_idx[pid]
+                build_vol[pid] = self._aff_vol[pid]
+                build_lat[pid] = self._aff_lat[pid]
+                build_dist[pid] = self._aff_dist[pid]
+            else:
+                masks[pid] = keep
+                build_idx[pid] = self._aff_idx[pid][keep]
+                build_vol[pid] = self._aff_vol[pid][keep]
+                build_lat[pid] = self._aff_lat[pid][keep]
+                build_dist[pid] = self._aff_dist[pid][keep]
+                learned_aff[pid] = [
+                    (ug, row)
+                    for ug, row in zip(affected, rows)
+                    if row in learned_rows
+                ]
+        arrays = (build_idx, build_vol, build_lat, build_dist, learned_aff)
+        self._split_cache = (key, arrays, masks)
+        return arrays
+
+    # -- world mutation (the controller's delta surface) ---------------------
+
+    @property
+    def world_epoch(self) -> int:
+        """Generation counter bumped by every world mutation."""
+        return self._world_epoch
+
+    @property
+    def disabled_peerings(self) -> FrozenSet[int]:
+        return frozenset(self._disabled_peerings)
+
+    @property
+    def dirty_peerings(self) -> FrozenSet[int]:
+        """Peerings whose marginals the pending deltas can touch."""
+        return frozenset(self._dirty_pids) | frozenset(self._dirty_vol_rows)
+
+    def apply_volume_shift(self, ug_id: int, volume: float) -> FrozenSet[int]:
+        """Change one UG's traffic volume; returns the dirtied peerings.
+
+        Volumes enter Algorithm 1 only as marginal-benefit weights, never
+        as scan state, so the dirty set is exactly the UG's
+        policy-compliant ingress set.  All cached volume arrays (the
+        static per-peering arrays and the learned-split cache) are patched
+        in place so the next solve — warm or cold — sees the new weights.
+        """
+        if volume < 0:
+            raise ValueError("volume must be non-negative")
+        row = self._ug_index.get(ug_id)
+        if row is None:
+            raise KeyError(f"unknown UG id {ug_id}")
+        ug = self._scenario.user_groups[row]
+        self._scenario.set_ug_volume(ug_id, volume)
+        dirty = self._scenario.catalog.ingress_ids(ug)
+        if self._aff_rows is not None:
+            for pid in dirty:
+                idx = self._aff_idx.get(pid)
+                if idx is None:
+                    continue
+                self._aff_vol[pid][idx == row] = volume
+            if self._split_cache is not None:
+                _, arrays, masks = self._split_cache
+                build_vol = arrays[1]
+                for pid in dirty:
+                    mask = masks.get(pid)
+                    if mask is not None and pid in build_vol:
+                        # Masked splits are copies; all-keep splits alias
+                        # ``_aff_vol`` and were patched in place above.
+                        build_vol[pid] = self._aff_vol[pid][mask]
+        # Volume dirt is tracked per (peering, UG row): the affected
+        # marginals differ from their memoized values only in the shifted
+        # rows' terms, which the next warm solve patches in place of a
+        # full recomputation.
+        for pid in dirty:
+            self._dirty_vol_rows.setdefault(pid, set()).add(row)
+        self._world_epoch += 1
+        return dirty
+
+    def set_peering_enabled(self, peering_id: int, enabled: bool) -> None:
+        """Administratively toggle a peering (session down / back up).
+
+        A disabled peering is excluded from the candidate list of every
+        subsequent solve; re-enabling restores it.  Either direction
+        dirties the peering and bumps the world epoch (forked worker pools
+        hold the candidate list frozen, so they must be rebuilt).
+        """
+        self._scenario.deployment.peering(peering_id)  # validate the id
+        if enabled:
+            self._disabled_peerings.discard(peering_id)
+        else:
+            self._disabled_peerings.add(peering_id)
+        self._dirty_pids.add(peering_id)
+        self._world_epoch += 1
+
+    def solve_warm(self, record_curve: bool = False) -> AdvertisementConfig:
+        """Re-solve, reusing every marginal the pending deltas cannot touch.
+
+        Produces a configuration **bit-identical** to :meth:`solve` on the
+        same (mutated) world: memoized marginals are reused only while the
+        replayed accept sequence still matches the recorded one, and only
+        for peerings outside the dirty set (see :class:`SolveMemo`).  The
+        first call — or any call after a budget/ablation change — records
+        a cold solve; every call leaves a fresh memo behind, so steady
+        streams of small deltas pay only for what they touched.
+
+        ``last_warm_stats`` reports the reuse accounting of the call.
+        """
+        dirty = set(self._dirty_pids)
+        self._dirty_pids.clear()
+        vol_rows = {
+            pid: set(rows) for pid, rows in self._dirty_vol_rows.items()
+        }
+        self._dirty_vol_rows.clear()
+        memo = self._memo
+        usable = (
+            memo is not None
+            and memo.budget == self._budget
+            and memo.allow_reuse == self._allow_reuse
+        )
+        if usable:
+            # Defensive dirty expansion: any learned-set or candidate-set
+            # drift since the memo was recorded touches the marginals of
+            # every peering containing an affected row, whether or not a
+            # delta announced it.
+            current_learned = frozenset(
+                self._ug_index[ug_id]
+                for ug_id in self._model.learned_ug_ids
+                if ug_id in self._ug_index
+            )
+            for row in memo.learned_rows ^ current_learned:
+                dirty.update(
+                    self._scenario.catalog.ingress_ids(
+                        self._scenario.user_groups[row]
+                    )
+                )
+            active = frozenset(
+                pid
+                for pid in self._affected
+                if pid not in self._disabled_peerings
+            )
+            dirty.update(memo.active_peerings ^ active)
+        # Structural dirt supersedes volume dirt: a fully dirty peering is
+        # recomputed from scratch, so its row-level entries are moot.
+        for pid in dirty:
+            vol_rows.pop(pid, None)
+        new_memo = SolveMemo()
+        try:
+            with TRACER.span(
+                "orchestrator.solve_warm", budget=self._budget
+            ) as span:
+                with PERF.timed("orchestrator.solve_warm"):
+                    config = self._solve(
+                        record_curve=record_curve,
+                        memo_in=memo if usable else None,
+                        memo_out=new_memo,
+                        dirty=dirty,
+                        vol_rows=vol_rows,
+                    )
+                span.tag("prefixes_used", config.prefix_count)
+                span.tag("pairs_used", config.pair_count)
+        except BaseException:
+            # An interrupted solve (watchdog timeout, worker failure) must
+            # not swallow the dirt it consumed: restore it so a retry —
+            # warm or cold — still sees every pending delta.
+            self._dirty_pids.update(dirty)
+            for pid, rows in vol_rows.items():
+                self._dirty_vol_rows.setdefault(pid, set()).update(rows)
+            raise
+        self._memo = new_memo
+        self.last_warm_stats = WarmSolveStats(
+            mode="warm" if usable else "cold",
+            dirty_peerings=len(dirty) + len(vol_rows),
+            reused_evals=self._last_reused,
+            fresh_evals=self._last_fresh,
+            diverged=self._last_diverged,
+            patched_evals=self._last_patched,
+        )
+        PERF.counter("orchestrator.warm_solves").add()
+        PERF.counter("orchestrator.warm_reused_evals").add(self._last_reused)
+        return config
+
+    def forget_memo(self) -> None:
+        """Drop the warm-start memo (the next ``solve_warm`` runs cold)."""
+        self._memo = None
+
+    def solve_cold(self) -> AdvertisementConfig:
+        """A from-scratch serial solve leaving all warm-start state alone.
+
+        The controller's differential guard uses this to cross-check a
+        warm solve without consuming the pending dirty set or replacing
+        the memo.
+        """
+        with TRACER.span("orchestrator.solve_cold", budget=self._budget):
+            with PERF.timed("orchestrator.solve_cold"):
+                return self._solve()
+
     # -- parallel-solve lifecycle -------------------------------------------
 
     def close(self) -> None:
@@ -375,6 +704,7 @@ class PainterOrchestrator:
     def _teardown_parallel(self, mark_broken: bool = False) -> None:
         if mark_broken:
             self._parallel_broken = True
+            self._solves_since_break = 0
         solver = self._parallel
         self._parallel = None
         finalizer = self._parallel_finalizer
@@ -391,21 +721,30 @@ class PainterOrchestrator:
         """The lazily forked :class:`repro.parallel.ParallelSolver` (or None)."""
         solver = self._parallel
         if solver is not None:
-            if solver.n_workers == n_workers and solver.pool.alive():
+            if (
+                solver.n_workers == n_workers
+                and solver.pool.alive()
+                and solver.world_epoch == self._world_epoch
+            ):
                 return solver
-            # Worker died between solves (chaos kill) or the count changed:
-            # rebuild.  Forking from the current state is safe — workers
-            # never consult their inherited model's learned set, only the
-            # set the parent broadcasts at each solve's prep.
+            # Worker died between solves (chaos kill), the count changed,
+            # or a world mutation (volume shift, peering toggle) outdated
+            # the forked snapshots: rebuild.  Forking from the current
+            # state is safe — workers never consult their inherited
+            # model's learned set, only the set the parent broadcasts at
+            # each solve's prep.
             self._teardown_parallel()
         import repro.parallel as parallel_mod
 
         if not parallel_mod.parallel_enabled():
             return None
+        kwargs = {}
+        if self._config.worker_timeout_s is not None:
+            kwargs["timeout_s"] = self._config.worker_timeout_s
         try:
             import weakref
 
-            solver = parallel_mod.ParallelSolver(self, n_workers)
+            solver = parallel_mod.ParallelSolver(self, n_workers, **kwargs)
         except (parallel_mod.WorkerPoolError, OSError, ValueError) as exc:
             logger.warning(
                 "parallel solver unavailable (%s); solving serially", exc
@@ -435,11 +774,35 @@ class PainterOrchestrator:
             span.tag("pairs_used", config.pair_count)
             return config
 
+    def _breaker_allows_parallel(self) -> bool:
+        """Has the serial-fallback breaker cooled down enough to retry?"""
+        if not self._parallel_broken:
+            return True
+        retry = self._config.parallel_retry_solves
+        if retry <= 0:
+            return False  # broken stays broken (legacy behavior)
+        self._solves_since_break += 1
+        if self._solves_since_break > retry:
+            # Probe solve: re-arm the parallel path.  If the pool fails
+            # again the fallback handler re-trips the breaker and the
+            # cooldown restarts from zero.
+            self._parallel_broken = False
+            self._solves_since_break = 0
+            return True
+        return False
+
     def _solve_dispatch(
         self, record_curve: bool, workers: Optional[int]
     ) -> AdvertisementConfig:
         n_workers = self._config.workers if workers is None else workers
-        if n_workers > 1 and not self._parallel_broken:
+        # Disabled peerings force the serial path: forked workers hold the
+        # candidate peering list frozen from fork time, and the serial
+        # solve is the one place the exclusion is applied authoritatively.
+        if (
+            n_workers > 1
+            and not self._disabled_peerings
+            and self._breaker_allows_parallel()
+        ):
             solver = self._ensure_parallel(n_workers)
             if solver is not None:
                 from repro.parallel import WorkerPoolError
@@ -465,7 +828,17 @@ class PainterOrchestrator:
                     self._teardown_parallel(mark_broken=True)
         return self._solve(record_curve=record_curve)
 
-    def _solve(self, record_curve: bool = False) -> AdvertisementConfig:
+    def _solve(
+        self,
+        record_curve: bool = False,
+        *,
+        memo_in: Optional[SolveMemo] = None,
+        memo_out: Optional[SolveMemo] = None,
+        dirty: FrozenSet[int] = frozenset(),
+        vol_rows: Optional[Dict[int, Set[int]]] = None,
+    ) -> AdvertisementConfig:
+        if vol_rows is None:
+            vol_rows = {}
         scenario = self._scenario
         evaluator = self._evaluator
         config = AdvertisementConfig()
@@ -504,40 +877,28 @@ class PainterOrchestrator:
             for ug_id in model.learned_ug_ids
             if ug_id in self._ug_index
         }
-        if learned_rows:
-            build_idx: Dict[int, "np.ndarray"] = {}
-            build_vol: Dict[int, "np.ndarray"] = {}
-            build_lat: Dict[int, "np.ndarray"] = {}
-            build_dist: Dict[int, "np.ndarray"] = {}
-            learned_aff: Dict[int, List[Tuple[UserGroup, int]]] = {}
-            for pid, affected in self._affected.items():
-                rows = self._aff_rows[pid]
-                keep = np.array(
-                    [row not in learned_rows for row in rows], dtype=bool
-                )
-                if keep.all():
-                    build_idx[pid] = self._aff_idx[pid]
-                    build_vol[pid] = self._aff_vol[pid]
-                    build_lat[pid] = self._aff_lat[pid]
-                    build_dist[pid] = self._aff_dist[pid]
-                else:
-                    build_idx[pid] = self._aff_idx[pid][keep]
-                    build_vol[pid] = self._aff_vol[pid][keep]
-                    build_lat[pid] = self._aff_lat[pid][keep]
-                    build_dist[pid] = self._aff_dist[pid][keep]
-                    learned_aff[pid] = [
-                        (ug, row)
-                        for ug, row in zip(affected, rows)
-                        if row in learned_rows
-                    ]
-        else:
-            build_idx = self._aff_idx
-            build_vol = self._aff_vol
-            build_lat = self._aff_lat
-            build_dist = self._aff_dist
-            learned_aff = {}
+        build_idx, build_vol, build_lat, build_dist, learned_aff = (
+            self._learned_split(learned_rows)
+        )
 
-        all_peering_ids = sorted(self._affected)
+        all_peering_ids = sorted(
+            pid
+            for pid in self._affected
+            if pid not in self._disabled_peerings
+        )
+
+        # Warm-start replay state (see SolveMemo): while ``intact``, the
+        # accept sequence still matches the memo and clean-peering values
+        # may be reused verbatim.
+        intact = memo_in is not None
+        reused_evals = 0
+        fresh_evals = 0
+        patched_evals = 0
+        if memo_out is not None:
+            memo_out.budget = self._budget
+            memo_out.allow_reuse = self._allow_reuse
+            memo_out.learned_rows = frozenset(learned_rows)
+            memo_out.active_peerings = frozenset(all_peering_ids)
 
         for prefix in range(self._budget):
             # Manual enter/exit keeps the 200-line loop body unindented;
@@ -545,6 +906,18 @@ class PainterOrchestrator:
             scan_cm = TRACER.span("orchestrator.prefix_scan", prefix=prefix)
             scan_span = scan_cm.__enter__()
             advertised: Set[int] = set()
+            # Replay bookkeeping: the memo's record of this prefix (while
+            # intact) and the record being written for the next warm solve.
+            pmemo_in: Optional[_PrefixMemo] = None
+            if intact:
+                if prefix < len(memo_in.prefixes):
+                    pmemo_in = memo_in.prefixes[prefix]
+                else:
+                    intact = False  # the memo solve stopped earlier than us
+            pmemo_out: Optional[_PrefixMemo] = None
+            if memo_out is not None:
+                pmemo_out = _PrefixMemo()
+                memo_out.prefixes.append(pmemo_out)
             # Incremental Eq.-2 session: marginal queries against the
             # growing accepted set cost a binary search for unlearned UGs
             # instead of a full candidate-set rebuild.
@@ -572,7 +945,16 @@ class PainterOrchestrator:
             ccnt_arr = np.zeros(n_ugs)
             ob_arr = base_np.copy()
 
-            def marginal(peering_id: int) -> float:
+            def marginal(peering_id: int) -> Tuple[float, tuple]:
+                """Fresh marginal plus its summation detail.
+
+                The detail — the per-row contribution vector (shrink rows
+                hold their exact scalar term) and the ordered learned-loop
+                terms — lets a later warm solve whose only dirt on this
+                peering is a volume shift substitute the shifted rows and
+                replay the identical float summation (bit-equal result)
+                without re-running the vectorized scan.
+                """
                 marginal_evals.add()
                 idx = build_idx[peering_id]
                 dist = build_dist[peering_id]
@@ -597,7 +979,12 @@ class PainterOrchestrator:
                 if shrink.any():
                     contrib[shrink] = 0.0
                 fast_queries.value += len(lat)
-                delta = float(contrib.sum())
+                # Shrink rows get their exact scalar term scattered back
+                # into the contribution vector (rather than added to a
+                # running scalar): the whole unlearned part then reduces in
+                # one numpy sum, which a later volume patch can reproduce
+                # bit-for-bit by substituting the shifted elements and
+                # re-running the identical pairwise reduction.
                 if shrink.any():
                     for pos in np.nonzero(shrink)[0]:
                         row = int(idx[pos])
@@ -608,7 +995,9 @@ class PainterOrchestrator:
                             continue
                         base_s = base_list[row]
                         new_best_s = new_p_s if new_p_s < base_s else base_s
-                        delta += vol_list[row] * (ob_s - new_best_s)
+                        contrib[pos] = vol_list[row] * (ob_s - new_best_s)
+                delta = float(contrib.sum())
+                learned_terms: List[float] = []
                 for ug, row in learned_aff.get(peering_id, ()):
                     base_s = base_list[row]
                     old_p = cur_p[row]
@@ -622,7 +1011,9 @@ class PainterOrchestrator:
                         new_best_s = new_p_s
                     else:
                         new_best_s = base_s
-                    delta += vol_list[row] * (old_best - new_best_s)
+                    term = vol_list[row] * (old_best - new_best_s)
+                    delta += term
+                    learned_terms.append(term)
                 if _DEBUG_CHECK:
                     ref = 0.0
                     for ug, row in zip(
@@ -678,7 +1069,109 @@ class PainterOrchestrator:
                                     file=sys.stderr,
                                 )
                         raise SystemExit(1)
-                return delta
+                # ``contrib`` is freshly allocated per call, so the detail
+                # can hold it without a defensive copy.
+                return delta, (contrib, learned_terms)
+
+            def patch_marginal(peering_id: int, key: Tuple[int, int]):
+                """Volume-patch a memoized marginal: bit-equal, far cheaper.
+
+                A volume shift changes marginal *weights* only — none of
+                the scan state (``d0_arr``/``csum_arr``/``ccnt_arr``/
+                ``ob_arr``) depends on volumes, and while ``intact`` that
+                state evolves exactly as it did in the memo run.  So the
+                shifted rows' terms are recomputed with IEEE-double scalar
+                clones of the vectorized ops in ``marginal``, substituted
+                into the recorded contribution vector and scalar-addition
+                sequence, and the identical float summation is replayed —
+                producing the same bits a fresh evaluation would, without
+                rescanning the untouched rows.  Returns ``None`` when the
+                recorded shape no longer matches (caller re-evaluates).
+                """
+                rec = pmemo_in.detail.get(key)
+                if rec is None:
+                    return None
+                contrib0, learned_terms = rec
+                idx = build_idx[peering_id]
+                if len(contrib0) != len(idx):
+                    return None  # learned split drifted under this memo
+                la = learned_aff.get(peering_id, ())
+                if len(la) != len(learned_terms):
+                    return None
+                dist = build_dist[peering_id]
+                lat = build_lat[peering_id]
+                vol = build_vol[peering_id]
+                patched = contrib0.copy()
+                changed = vol_rows[peering_id]
+                for row in changed:
+                    # ``idx`` is ascending (catalog inversion walks UGs in
+                    # row order, and the learned-split mask preserves it).
+                    pos = int(np.searchsorted(idx, row))
+                    if pos >= len(idx) or idx[pos] != row:
+                        continue  # learned row: handled in the loop below
+                    d0_s = float(d0_arr[row])
+                    ob_s = float(ob_arr[row])
+                    dist_s = float(dist[pos])
+                    shrink_s = dist_s < d0_s and math.isfinite(d0_s)
+                    if shrink_s:
+                        # Shrink rows hold their exact scalar term (or 0.0
+                        # when the UG loses its path); both the shrink set
+                        # and query reachability are volume-independent.
+                        new_p_s = scan.query(ugs[row], peering_id)
+                        if new_p_s is None:
+                            patched[pos] = 0.0
+                        else:
+                            bl = base_list[row]
+                            nb = new_p_s if new_p_s < bl else bl
+                            patched[pos] = vol_list[row] * (
+                                ob_arr[row] - nb
+                            )
+                    else:
+                        lat_s = float(lat[pos])
+                        limit_s = (
+                            dist_s if dist_s < d0_s else d0_s
+                        ) + d_reuse
+                        add_s = dist_s <= limit_s and not math.isnan(lat_s)
+                        new_cnt = float(ccnt_arr[row]) + (
+                            1.0 if add_s else 0.0
+                        )
+                        new_sum = float(csum_arr[row]) + (
+                            lat_s if add_s else 0.0
+                        )
+                        new_p = new_sum / (new_cnt if new_cnt > 1.0 else 1.0)
+                        base_s = float(base_np[row])
+                        if new_cnt > 0:
+                            new_best = base_s if base_s < new_p else new_p
+                        else:
+                            new_best = ob_s
+                        patched[pos] = float(vol[pos]) * (ob_s - new_best)
+                total = float(patched.sum())
+                if la:
+                    new_learned: List[float] = []
+                    for i, (ug, row) in enumerate(la):
+                        if row in changed:
+                            base_s = base_list[row]
+                            old_p = cur_p[row]
+                            old_best = (
+                                base_s
+                                if old_p is None or base_s < old_p
+                                else old_p
+                            )
+                            new_p_s = scan.query(ug, peering_id)
+                            if new_p_s is None:
+                                new_best_s = old_best
+                            elif new_p_s < base_s:
+                                new_best_s = new_p_s
+                            else:
+                                new_best_s = base_s
+                            t = vol_list[row] * (old_best - new_best_s)
+                        else:
+                            t = learned_terms[i]
+                        total += t
+                        new_learned.append(t)
+                else:
+                    new_learned = learned_terms
+                return total, (patched, new_learned)
 
             # Initial heap build: with nothing accepted yet, each unlearned
             # affected UG contributes vol * max(0, base - latency), so one
@@ -687,15 +1180,30 @@ class PainterOrchestrator:
             heap: List[Tuple[float, int, int]] = []
             for pid in all_peering_ids:
                 marginal_evals.add()
-                lat = build_lat[pid]
-                gain = np.fmax(base_np[build_idx[pid]] - lat, 0.0)
-                delta = float(build_vol[pid] @ gain)
-                fast_queries.value += len(lat)
-                for ug, row in learned_aff.get(pid, ()):
-                    base = base_list[row]
-                    new_p = scan.query(ug, pid)
-                    if new_p is not None and new_p < base:
-                        delta += vol_list[row] * (base - new_p)
+                # Volume-dirty peerings rebuild fresh too: the initial
+                # build is one masked dot product, and BLAS accumulation
+                # order is not reproducible by scalar patching.
+                cached = (
+                    pmemo_in.build.get(pid)
+                    if intact and pid not in dirty and pid not in vol_rows
+                    else None
+                )
+                if cached is not None:
+                    delta = cached
+                    reused_evals += 1
+                else:
+                    fresh_evals += 1
+                    lat = build_lat[pid]
+                    gain = np.fmax(base_np[build_idx[pid]] - lat, 0.0)
+                    delta = float(build_vol[pid] @ gain)
+                    fast_queries.value += len(lat)
+                    for ug, row in learned_aff.get(pid, ()):
+                        base = base_list[row]
+                        new_p = scan.query(ug, pid)
+                        if new_p is not None and new_p < base:
+                            delta += vol_list[row] * (base - new_p)
+                if pmemo_out is not None:
+                    pmemo_out.build[pid] = delta
                 heap.append((-delta, version, pid))
             heapq.heapify(heap)
 
@@ -704,7 +1212,33 @@ class PainterOrchestrator:
                 if pid in advertised:
                     continue
                 if seen_version != version:
-                    fresh = marginal(pid)
+                    key = (version, pid)
+                    clean = intact and pid not in dirty
+                    cached = (
+                        pmemo_in.refresh.get(key)
+                        if clean and pid not in vol_rows
+                        else None
+                    )
+                    if cached is not None:
+                        fresh = cached
+                        detail = pmemo_in.detail.get(key)
+                        reused_evals += 1
+                    else:
+                        repatched = (
+                            patch_marginal(pid, key)
+                            if clean and pid in vol_rows
+                            else None
+                        )
+                        if repatched is not None:
+                            fresh, detail = repatched
+                            patched_evals += 1
+                        else:
+                            fresh, detail = marginal(pid)
+                            fresh_evals += 1
+                    if pmemo_out is not None:
+                        pmemo_out.refresh[key] = fresh
+                        if detail is not None:
+                            pmemo_out.detail[key] = detail
                     # Lazy re-evaluation: the refreshed marginal is only
                     # re-enqueued when it has fallen below the current heap
                     # top — otherwise it is still the best candidate and is
@@ -720,6 +1254,16 @@ class PainterOrchestrator:
                 marginal_hist.observe(-neg_delta)
                 advertised.add(pid)
                 config.add(prefix, pid)
+                if pmemo_out is not None:
+                    pmemo_out.accepts.append(pid)
+                if intact and (
+                    version >= len(pmemo_in.accepts)
+                    or pmemo_in.accepts[version] != pid
+                ):
+                    # Divergence: the replayed accept sequence departed
+                    # from the memo's, so every later memoized value was
+                    # computed against state we no longer share.
+                    intact = False
                 version += 1
                 affected = self._affected.get(pid, ())
                 scan.accept(pid, affected)
@@ -752,6 +1296,11 @@ class PainterOrchestrator:
             else:
                 naive_evals.add(n_peerings)
 
+            if intact and version != len(pmemo_in.accepts):
+                # We stopped accepting earlier than the memo solve did (a
+                # dirty marginal dropped below the cutoff): later prefixes
+                # see a different base state, so no further reuse.
+                intact = False
             scan_span.tag("accepted", accepts)
             scan_cm.__exit__(None, None, None)
             if not advertised:
@@ -771,6 +1320,10 @@ class PainterOrchestrator:
                         mean_benefit=evaluation.mean,
                     )
                 )
+        self._last_reused = reused_evals
+        self._last_fresh = fresh_evals
+        self._last_patched = patched_evals
+        self._last_diverged = memo_in is not None and not intact
         return config
 
     def estimated_iteration_duration_s(self) -> float:
@@ -856,11 +1409,37 @@ class PainterOrchestrator:
                 self._last_seen[cache_key] = (advertised, actual.peering_id)
                 observed += 1
         timer.add(time.perf_counter() - start)
+        if touched_ugs:
+            # Warm-start dirty tracking: learning changed the model's view
+            # of these UGs, so every peering that can serve them must be
+            # re-evaluated by the next warm solve.
+            catalog = self._scenario.catalog
+            for ug_id in touched_ugs:
+                row = self._ug_index.get(ug_id)
+                if row is not None:
+                    self._dirty_pids.update(
+                        catalog.ingress_ids(self._scenario.user_groups[row])
+                    )
         if self._parallel is not None and touched_ugs:
             # Epoch invalidation: forked workers hold per-solve layouts
             # derived from a now-stale learned split; tell them to drop it
             # (the next solve's prep re-sends the authoritative set).
-            self._parallel.invalidate(sorted(touched_ugs))
+            if not self._parallel.invalidate(sorted(touched_ugs)):
+                # A worker missed the bump: the pool can no longer be
+                # trusted (or waited on).  Trip the breaker now so the
+                # next solve falls back to serial immediately instead of
+                # timing out against a wedged pool.
+                logger.warning(
+                    "parallel invalidate broadcast failed; "
+                    "tearing the pool down"
+                )
+                PERF.counter("parallel.fallbacks").add()
+                emit_event(
+                    "parallel_fallback",
+                    reason="invalidate broadcast failed",
+                    workers=self._parallel.n_workers,
+                )
+                self._teardown_parallel(mark_broken=True)
         obs_span.tag("observed", observed)
         obs_span.tag("missing", missing)
         obs_span.tag("stale", stale)

@@ -8,6 +8,7 @@ from repro.experiments.extensions import (
     run_ext_multipath,
 )
 from repro.experiments.chaos import ChaosConfig, ChaosHarness, run_chaos
+from repro.experiments.controller import run_controller
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig6 import run_fig6a, run_fig6b, run_fig6c
 from repro.experiments.fig7 import run_fig7
@@ -28,6 +29,7 @@ from repro.experiments.replay import (
 
 ALL_EXPERIMENTS = {
     "chaos": run_chaos,
+    "controller": run_controller,
     "fig3": run_fig3,
     "fig6a": run_fig6a,
     "fig6b": run_fig6b,
@@ -56,6 +58,7 @@ __all__ = [
     "ChaosConfig",
     "ChaosHarness",
     "run_chaos",
+    "run_controller",
     "run_ext_congestion",
     "run_ext_egress",
     "run_ext_failover_sweep",

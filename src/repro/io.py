@@ -4,11 +4,20 @@ An operator running the Advertisement Orchestrator wants to version its
 outputs: the configuration that is live, the learning history that produced
 it, and the experiment tables backing a rollout decision.  Everything here
 round-trips through plain JSON — no pickle, no custom binary formats.
+
+Every ``save_*`` function is **crash-safe**: the document is written to a
+temporary file in the destination directory, flushed and fsync'd, and then
+atomically renamed over the target (:func:`atomic_write_text`).  A process
+killed mid-save leaves the previous file intact — the durability contract
+the continuous controller (:mod:`repro.controller`) builds its checkpoint
+store on.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
@@ -31,6 +40,49 @@ _MODEL_FORMAT_VERSION = 2
 
 class SerializationError(ValueError):
     """Raised for malformed or mismatched documents."""
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Durably replace ``path`` with ``text`` (write-temp, fsync, rename).
+
+    The temporary file lives in the same directory as the target so the
+    final :func:`os.replace` is an atomic rename on every POSIX filesystem;
+    the file is fsync'd before the rename and the directory after it, so a
+    crash at any instant leaves either the complete old file or the
+    complete new one — never a torn mix.
+    """
+    target = Path(path)
+    directory = target.parent
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(directory) or ".", prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(directory)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Persist a rename by fsyncing its directory (best-effort off POSIX)."""
+    try:
+        dir_fd = os.open(str(directory) or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir fds
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - filesystems rejecting dir fsync
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def _check_header(
@@ -81,7 +133,7 @@ def config_from_dict(document: Dict[str, Any]) -> AdvertisementConfig:
 
 
 def save_config(config: AdvertisementConfig, path: PathLike) -> None:
-    Path(path).write_text(json.dumps(config_to_dict(config), indent=2))
+    atomic_write_text(path, json.dumps(config_to_dict(config), indent=2))
 
 
 def load_config(path: PathLike) -> AdvertisementConfig:
@@ -137,7 +189,7 @@ def learning_result_from_dict(document: Dict[str, Any]) -> LearningResult:
 
 
 def save_learning_result(result: LearningResult, path: PathLike) -> None:
-    Path(path).write_text(json.dumps(learning_result_to_dict(result), indent=2))
+    atomic_write_text(path, json.dumps(learning_result_to_dict(result), indent=2))
 
 
 def load_learning_result(path: PathLike) -> LearningResult:
@@ -177,7 +229,7 @@ def experiment_result_from_dict(document: Dict[str, Any]) -> ExperimentResult:
 
 
 def save_experiment_result(result: ExperimentResult, path: PathLike) -> None:
-    Path(path).write_text(json.dumps(experiment_result_to_dict(result), indent=2))
+    atomic_write_text(path, json.dumps(experiment_result_to_dict(result), indent=2))
 
 
 def load_experiment_result(path: PathLike) -> ExperimentResult:
@@ -247,7 +299,7 @@ def restore_routing_model(model: RoutingModel, document: Dict[str, Any]) -> None
 
 
 def save_routing_model(model: RoutingModel, path: PathLike) -> None:
-    Path(path).write_text(json.dumps(routing_model_to_dict(model), indent=2))
+    atomic_write_text(path, json.dumps(routing_model_to_dict(model), indent=2))
 
 
 def load_routing_model_into(model: RoutingModel, path: PathLike) -> None:
@@ -314,7 +366,7 @@ def rebuild_from_manifest(document: Dict[str, Any], ug_config=None):
 
 
 def save_scenario_manifest(scenario, path: PathLike) -> None:
-    Path(path).write_text(json.dumps(scenario_manifest(scenario), indent=2))
+    atomic_write_text(path, json.dumps(scenario_manifest(scenario), indent=2))
 
 
 def load_scenario_from_manifest(path: PathLike, ug_config=None):

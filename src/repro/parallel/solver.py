@@ -93,6 +93,11 @@ class ParallelSolver:
             return ShardState(_ctx, lo, hi)
 
         self.pool = WorkerPool(n_workers, make_handler, timeout_s=timeout_s)
+        #: World-state generation this pool was forked from.  The
+        #: orchestrator bumps its own epoch on volume/peering mutations and
+        #: rebuilds any pool whose epoch lags — forked workers hold frozen
+        #: copies of the scenario and must not serve a mutated world.
+        self.world_epoch = getattr(orchestrator, "_world_epoch", 0)
         self._filled = False
         self._slow_queries = PERF.counter("evaluator.scan_slow_queries")
         self._closed = False
@@ -115,14 +120,23 @@ class ParallelSolver:
             for arr in (self._lat, self._dist, self._gains):
                 arr.close(unlink=True)
 
-    def invalidate(self, ug_ids) -> None:
-        """Broadcast an epoch bump after the parent's model learned."""
+    def invalidate(self, ug_ids) -> bool:
+        """Broadcast an epoch bump after the parent's model learned.
+
+        Returns ``False`` when the broadcast could not reach every worker
+        (pool already broken, or it broke right here).  The caller must
+        treat that as a pool failure — a worker that missed the epoch bump
+        would solve against a stale learned set, so the next solve has to
+        fall back instead of trusting (or waiting on) this pool.
+        """
         if self.pool.broken:
-            return
+            return False
         try:
             self.pool.broadcast("invalidate", tuple(ug_ids))
+            return True
         except WorkerPoolError:
-            pass  # surfaced (and fallen back from) at the next solve
+            self.pool.broken = True
+            return False
 
     def _ensure_filled(self) -> None:
         if self._filled:

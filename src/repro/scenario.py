@@ -46,6 +46,25 @@ class Scenario:
     def graph(self):
         return self.topology.graph
 
+    def set_ug_volume(self, ug_id: int, volume: float) -> UserGroup:
+        """Mutate one UG's traffic volume in place (a workload delta).
+
+        :class:`UserGroup` is frozen, and the same object is referenced
+        from the catalog, the orchestrator's affected-map, and any held
+        configs — so the shift is applied through ``object.__setattr__``
+        on the shared instance rather than by rebuilding the population.
+        Callers holding derived volume arrays (the orchestrator) must
+        patch them; use :meth:`PainterOrchestrator.apply_volume_shift`,
+        which does, instead of calling this directly.
+        """
+        if volume < 0:
+            raise ValueError("volume must be non-negative")
+        for ug in self.user_groups:
+            if ug.ug_id == ug_id:
+                object.__setattr__(ug, "volume", float(volume))
+                return ug
+        raise KeyError(f"unknown UG id {ug_id}")
+
     def anycast_latency_ms(self, ug: UserGroup, day: int = 0) -> float:
         """The UG's latency under the default anycast configuration D.
 

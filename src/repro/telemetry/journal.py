@@ -80,6 +80,22 @@ class RunJournal:
         self._seq += 1
         self.records.append(record)
 
+    def resume_from(self, records: List[Dict[str, Any]]) -> None:
+        """Prime the journal with previously persisted records.
+
+        Crash recovery (:class:`repro.controller.DurableJournal`) reloads
+        the durable prefix of a run's journal and continues appending;
+        the sequence numbering carries on from the highest reloaded seq,
+        so the recovered journal is indistinguishable from one written by
+        an uninterrupted run.
+        """
+        self.records = list(records)
+        self._seq = (
+            max(int(r.get("seq", -1)) for r in self.records) + 1
+            if self.records
+            else 0
+        )
+
     # -- serialization ------------------------------------------------------
 
     def header(self) -> Dict[str, Any]:

@@ -597,6 +597,11 @@ class VectorFlowTable(_InternerMixin):
                 self._last_seen = np.insert(self._last_seen, insert_at, now_s)
                 admitted = int(routable.sum())
                 bytes_recorded += float(agg[routable].sum())
+                # Later in-batch occurrences of a just-admitted key find
+                # the entry in the scalar reference (admit, then hit), so
+                # they count as existing — only the first occurrence is an
+                # admission.
+                existing += int(routable[inv].sum()) - admitted
 
         self._c_admitted.add(admitted)
         self._c_existing.add(existing)

@@ -1,0 +1,123 @@
+"""Crash-safety of ``repro.io``: every save is atomic write-then-rename.
+
+The controller's checkpoint store leans on ``atomic_write_text`` for its
+durability guarantee, so this suite simulates the failure modes directly:
+a crash while writing the temp file, a crash at the rename itself, and a
+plain overwrite — in every case the previous file must survive intact and
+no temp litter may remain.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import repro.io as rio
+from repro.core.advertisement import AdvertisementConfig
+from repro.io import atomic_write_text, load_config, save_config
+
+
+def _listdir(path):
+    return sorted(p.name for p in path.iterdir())
+
+
+class TestAtomicWriteText:
+    def test_creates_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "hello")
+        assert target.read_text() == "hello"
+        assert _listdir(tmp_path) == ["out.txt"]
+
+    def test_overwrites_existing(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+        assert _listdir(tmp_path) == ["out.txt"]
+
+    def test_failure_during_write_leaves_previous_intact(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "out.txt"
+        target.write_text("previous contents")
+
+        real_fsync = os.fsync
+
+        def exploding_fsync(fd):
+            raise OSError("disk fell over mid-write")
+
+        monkeypatch.setattr(rio.os, "fsync", exploding_fsync)
+        with pytest.raises(OSError, match="mid-write"):
+            atomic_write_text(target, "half-finished replacement")
+        monkeypatch.setattr(rio.os, "fsync", real_fsync)
+
+        # The old file is untouched and the aborted temp file was removed.
+        assert target.read_text() == "previous contents"
+        assert _listdir(tmp_path) == ["out.txt"]
+
+    def test_failure_at_rename_leaves_previous_intact(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "out.txt"
+        target.write_text("previous contents")
+
+        def exploding_replace(src, dst):
+            raise OSError("crash at the rename boundary")
+
+        monkeypatch.setattr(rio.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="rename boundary"):
+            atomic_write_text(target, "never lands")
+        monkeypatch.undo()
+
+        assert target.read_text() == "previous contents"
+        assert _listdir(tmp_path) == ["out.txt"]
+
+    def test_temp_file_lives_in_destination_directory(
+        self, tmp_path, monkeypatch
+    ):
+        """The rename must be same-filesystem, so the temp file must be
+        created next to the target — never in the global tmpdir."""
+        seen = {}
+        real_mkstemp = rio.tempfile.mkstemp
+
+        def spying_mkstemp(*args, **kwargs):
+            seen["dir"] = kwargs.get("dir")
+            return real_mkstemp(*args, **kwargs)
+
+        monkeypatch.setattr(rio.tempfile, "mkstemp", spying_mkstemp)
+        atomic_write_text(tmp_path / "out.txt", "x")
+        assert seen["dir"] == str(tmp_path)
+
+
+class TestSaveFunctionsAreAtomic:
+    def test_save_config_survives_midwrite_crash(self, tmp_path, monkeypatch):
+        path = tmp_path / "config.json"
+        first = AdvertisementConfig.from_pairs([(0, 1), (2, 5)])
+        save_config(first, path)
+
+        monkeypatch.setattr(
+            rio.os, "fsync", lambda fd: (_ for _ in ()).throw(OSError("boom"))
+        )
+        with pytest.raises(OSError):
+            save_config(AdvertisementConfig.from_pairs([(9, 9)]), path)
+        monkeypatch.undo()
+
+        # Still parseable, still the first config, no temp litter.
+        assert load_config(path) == first
+        assert json.loads(path.read_text())["kind"] == rio._CONFIG_KIND
+        assert _listdir(tmp_path) == ["config.json"]
+
+    def test_all_savers_route_through_atomic_write(self, monkeypatch):
+        """Every ``save_*`` in the module must use the atomic path."""
+        calls = []
+
+        def recording_write(path, text):
+            calls.append(str(path))
+
+        monkeypatch.setattr(rio, "atomic_write_text", recording_write)
+
+        config = AdvertisementConfig.from_pairs([(0, 1)])
+        rio.save_config(config, "a.json")
+        assert calls == ["a.json"]

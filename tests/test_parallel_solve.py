@@ -327,3 +327,72 @@ class TestKillSwitch:
         orchestrator = PainterOrchestrator(tiny_scenario(seed=3), OrchestratorConfig(prefix_budget=3))
         with pytest.raises(ValueError):
             ParallelSolver(orchestrator, 1)
+
+
+class TestInvalidateFailure:
+    """``ParallelSolver.invalidate`` must surface pool failure, not eat it."""
+
+    def test_invalidate_reports_false_on_broken_pool(self):
+        scenario = tiny_scenario(seed=3)
+        orchestrator = PainterOrchestrator(
+            scenario, OrchestratorConfig(prefix_budget=3)
+        )
+        solver = ParallelSolver(orchestrator, 2)
+        try:
+            assert solver.invalidate((1, 2)) is True
+            solver.pool.kill_worker(0)
+            assert solver.invalidate((3,)) is False
+            assert solver.pool.broken
+            # Already-broken pools short-circuit without broadcasting.
+            assert solver.invalidate((4,)) is False
+        finally:
+            solver.close()
+            orchestrator.close()
+
+    def test_failed_invalidate_trips_breaker_in_observe_path(self, monkeypatch):
+        """A learned-set bump that can't reach the workers must tear the
+        pool down immediately, not leave the next solve to time out."""
+        scenario = tiny_scenario(seed=3)
+        with PainterOrchestrator(
+            scenario, OrchestratorConfig(prefix_budget=3, workers=2)
+        ) as orchestrator:
+            config = orchestrator.solve()
+            solver = orchestrator._parallel
+            assert solver is not None
+            monkeypatch.setattr(solver, "invalidate", lambda ug_ids: False)
+            PERF.reset()
+            report = orchestrator.execute_and_observe(config, iteration=0)
+            assert report.learned > 0  # the broadcast was actually needed
+            assert orchestrator._parallel is None
+            assert orchestrator._parallel_broken
+            assert PERF.counter("parallel.fallbacks").value == 1
+
+
+class TestWorkerTimeoutConfig:
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError):
+            OrchestratorConfig(prefix_budget=3, worker_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            OrchestratorConfig(prefix_budget=3, worker_timeout_s=-5.0)
+        OrchestratorConfig(prefix_budget=3, worker_timeout_s=12.5)
+
+    def test_timeout_reaches_the_pool(self):
+        scenario = tiny_scenario(seed=3)
+        with PainterOrchestrator(
+            scenario,
+            OrchestratorConfig(prefix_budget=3, workers=2, worker_timeout_s=42.0),
+        ) as orchestrator:
+            solver = orchestrator._ensure_parallel(2)
+            assert solver is not None
+            assert solver.pool.timeout_s == 42.0
+
+    def test_default_timeout_when_unset(self):
+        from repro.parallel.pool import DEFAULT_TIMEOUT_S
+
+        scenario = tiny_scenario(seed=3)
+        with PainterOrchestrator(
+            scenario, OrchestratorConfig(prefix_budget=3, workers=2)
+        ) as orchestrator:
+            solver = orchestrator._ensure_parallel(2)
+            assert solver is not None
+            assert solver.pool.timeout_s == DEFAULT_TIMEOUT_S
