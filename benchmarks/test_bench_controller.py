@@ -14,6 +14,15 @@ import time
 from repro.core.orchestrator import OrchestratorConfig, PainterOrchestrator
 from repro.scenario import azure_scenario
 
+try:  # LP optimality envelope (needs scipy; see repro.optimality.gates)
+    import scipy  # noqa: F401
+
+    from repro.optimality import assert_lp_sound
+
+    HAVE_LP_GATE = True
+except ImportError:  # pragma: no cover - scipy installed in CI bench jobs
+    HAVE_LP_GATE = False
+
 #: ISSUE acceptance criterion: warm single-delta reconvergence wall time
 #: as a fraction of the cold solve.  Measured 0.14-0.22 at merge time.
 MAX_WARM_RATIO = 0.25
@@ -72,6 +81,18 @@ def test_bench_warm_restart_ratio(benchmark):
     reference.apply_volume_shift(ug_id, target)
     try:
         assert config_pairs(warm_config) == config_pairs(reference.solve_warm())
+        # Optimality envelope on the warm result against the same world's
+        # evaluator: warm-start replay may not inflate benefit past the LP
+        # relaxation at the config's distinct-peering budget.
+        if HAVE_LP_GATE:
+            envelope = assert_lp_sound(reference.evaluator, warm_config)
+            benchmark.extra_info["benefit"] = round(envelope.benefit, 4)
+            benchmark.extra_info["lp_bound"] = round(envelope.bound, 4)
+            benchmark.extra_info["optimality_utilization"] = round(
+                envelope.utilization, 4
+            )
+        else:
+            benchmark.extra_info["lp_bound"] = "scipy unavailable"
     finally:
         reference.close()
 

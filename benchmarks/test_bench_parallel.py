@@ -25,6 +25,15 @@ from repro.perf import PERF
 from repro.scenario import azure_scenario
 from repro.telemetry import telemetry_session
 
+try:  # LP optimality envelope (needs scipy; see repro.optimality.gates)
+    import scipy  # noqa: F401
+
+    from repro.optimality import assert_lp_sound
+
+    HAVE_LP_GATE = True
+except ImportError:  # pragma: no cover - scipy installed in CI bench jobs
+    HAVE_LP_GATE = False
+
 WORKERS = 4
 
 #: Minimum acceptable wall-clock ratio (serial / parallel) at 4 workers.
@@ -108,6 +117,18 @@ def test_bench_parallel_solve_azure(benchmark):
         "parallel.speculative_hits"
     ).value
     benchmark.extra_info["pairs"] = len(pairs)
+
+    # Optimality envelope on the (bit-identical) parallel result: sharding
+    # may only be fast, never push benefit past the LP relaxation.
+    if HAVE_LP_GATE:
+        envelope = assert_lp_sound(serial_orch.evaluator, config)
+        benchmark.extra_info["benefit"] = round(envelope.benefit, 4)
+        benchmark.extra_info["lp_bound"] = round(envelope.bound, 4)
+        benchmark.extra_info["optimality_utilization"] = round(
+            envelope.utilization, 4
+        )
+    else:
+        benchmark.extra_info["lp_bound"] = "scipy unavailable"
 
     # Journal parity with the serial path: one prefix_scan span per prefix.
     journal = journals[-1]

@@ -18,6 +18,15 @@ from repro.perf import PERF
 from repro.scenario import azure_scenario
 from repro.telemetry import telemetry_session
 
+try:  # LP optimality envelope (needs scipy; see repro.optimality.gates)
+    import scipy  # noqa: F401
+
+    from repro.optimality import assert_lp_sound
+
+    HAVE_LP_GATE = True
+except ImportError:  # pragma: no cover - scipy installed in CI bench jobs
+    HAVE_LP_GATE = False
+
 #: Measured before the evaluation fast path landed (same machine class as
 #: CI): dense per-pair scoring with no latency-matrix precompute, no
 #: incremental prefix scans, and no vectorized marginals.
@@ -31,6 +40,7 @@ def test_bench_solve_azure(benchmark):
     scenario = azure_scenario(seed=0)
 
     journals = []
+    orchestrators = []
 
     def run():
         PERF.reset()
@@ -42,6 +52,7 @@ def test_bench_solve_azure(benchmark):
             config = orchestrator.solve()
             elapsed = time.perf_counter() - start
         journals.append(journal)
+        orchestrators.append(orchestrator)
         return config, elapsed
 
     config, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -77,6 +88,20 @@ def test_bench_solve_azure(benchmark):
         lat_stats.hit_rate, 4
     )
     benchmark.extra_info["pairs"] = len(pairs)
+
+    # Optimality envelope: the greedy's benefit must sit at or below the LP
+    # relaxation of the selection problem at its distinct-peering budget —
+    # a speed regression that corrupts Eq.-2 evaluation trips this.
+    if HAVE_LP_GATE:
+        envelope = assert_lp_sound(orchestrators[-1].evaluator, config)
+        benchmark.extra_info["benefit"] = round(envelope.benefit, 4)
+        benchmark.extra_info["lp_bound"] = round(envelope.bound, 4)
+        benchmark.extra_info["lp_budget"] = envelope.budget
+        benchmark.extra_info["optimality_utilization"] = round(
+            envelope.utilization, 4
+        )
+    else:
+        benchmark.extra_info["lp_bound"] = "scipy unavailable"
 
     # One prefix_scan span per allocated prefix landed in the journal.
     journal = journals[-1]

@@ -13,6 +13,8 @@ Commands:
   Traffic Manager data plane and report per-step steering throughput;
 * ``controller`` — run the continuous-operation controller daemon over a
   delta stream with crash-safe checkpointing and warm-start re-solve;
+* ``optimality`` — measure Algorithm 1's greedy-vs-ILP benefit gap with
+  LP-bound soundness checks (``repro.optimality``);
 * ``trace``    — render the per-phase time/benefit breakdown of a JSONL run
   journal written by ``--journal`` (on solve/chaos/tm-bench).
 
@@ -318,6 +320,41 @@ def cmd_controller(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_optimality(args: argparse.Namespace) -> int:
+    """Greedy-vs-ILP optimality gap and LP-bound soundness check."""
+    from repro.experiments.optimality import run_greedy_gap
+    from repro.optimality import DEFAULT_REL_TOL
+
+    scenario = _scenario_from(args) if args.preset is not None else None
+    try:
+        result = run_greedy_gap(
+            scenario=scenario,
+            budgets=tuple(args.budget) if args.budget else (4, 8),
+            backend=args.backend,
+            time_limit_s=args.time_limit,
+            run_orchestrator=not args.matrix_greedy,
+        )
+    except AssertionError as exc:
+        print(f"SOUNDNESS VIOLATION: {exc}", file=sys.stderr)
+        return 1
+    print(result.render())
+    if args.output:
+        import json
+        from pathlib import Path
+
+        payload = {
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "columns": list(result.columns),
+            "rows": [list(row) for row in result.rows],
+            "notes": list(result.notes),
+            "rel_tol": DEFAULT_REL_TOL,
+        }
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote gap table to {args.output}")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Render the per-phase breakdown of a run journal."""
     from repro.telemetry import journal_to_result, load_journal
@@ -514,6 +551,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="where in the iteration the injected crash fires",
     )
     controller.set_defaults(func=cmd_controller)
+
+    optimality = sub.add_parser(
+        "optimality",
+        help="measure Algorithm 1's optimality gap against the exact ILP "
+        "and LP upper bound",
+    )
+    optimality.add_argument(
+        "--preset", choices=sorted(_PRESETS), default=None,
+        help="sweep one preset only (default: the built-in size ladder)",
+    )
+    optimality.add_argument("--seed", type=int, default=0, help="world seed")
+    optimality.add_argument("--ugs", type=int, default=None, help="user-group count")
+    optimality.add_argument(
+        "--budget", type=int, action="append", default=None,
+        help="prefix budget to sweep (repeatable; default: 4 and 8)",
+    )
+    optimality.add_argument(
+        "--backend", choices=("auto", "scipy", "pulp", "brute"), default="auto",
+        help="ILP backend (default: auto — scipy, then pulp, then brute)",
+    )
+    optimality.add_argument(
+        "--time-limit", type=float, default=120.0,
+        help="per-ILP-solve time limit in seconds",
+    )
+    optimality.add_argument(
+        "--matrix-greedy", action="store_true",
+        help="use the fast matrix-level greedy mirror instead of running "
+        "the full Algorithm-1 orchestrator",
+    )
+    optimality.add_argument(
+        "--output", type=str, default=None, help="save the gap table JSON here"
+    )
+    optimality.set_defaults(func=cmd_optimality)
 
     trace = sub.add_parser(
         "trace", help="render the per-phase breakdown of a run journal"

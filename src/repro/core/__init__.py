@@ -19,6 +19,7 @@ from repro.core.cost import (
 from repro.core.installation import Installation, InstalledPrefix, install_configuration
 from repro.core.benefit import (
     BenefitEvaluator,
+    BenefitMatrix,
     BenefitRange,
     ConfigEvaluation,
     DEFAULT_INFLATION_SCALE_KM,
@@ -50,6 +51,7 @@ __all__ = [
     "regional_anycast",
     "BASELINE_STRATEGIES",
     "BenefitEvaluator",
+    "BenefitMatrix",
     "BenefitRange",
     "BudgetPoint",
     "ConfigEvaluation",

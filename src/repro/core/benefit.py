@@ -18,7 +18,9 @@ from __future__ import annotations
 import math
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.core.advertisement import AdvertisementConfig
 from repro.core.routing_model import RoutingModel
@@ -83,6 +85,72 @@ class ConfigEvaluation:
             upper=self.upper * scale,
             per_ug_estimated={k: v * scale for k, v in self.per_ug_estimated.items()},
         )
+
+
+@dataclass(frozen=True)
+class BenefitMatrix:
+    """Sparse volume-weighted singleton-advertisement gains.
+
+    Entry ``e`` says: if UG row ``rows[e]`` is served by a prefix advertised
+    via (exactly) peering column ``cols[e]``, its Eq.-1 contribution is
+    ``gains[e] = volume * (anycast - latency)`` — the Eq.-2 expectation of a
+    singleton advertised set is the peering's own latency, so these terms
+    are exact, linear, and independent of any learned state.  Only positive,
+    measurable, policy-compliant entries are kept.
+
+    This is the shared input of the optimality comparator
+    (:mod:`repro.optimality`): Algorithm 1's greedy, the budget-k selection
+    ILP, its LP relaxation, and the brute-force oracle all consume the same
+    matrix, so their objective values are directly comparable.
+
+    Entries are ordered (UG row, peering column) lexicographically; rows
+    follow ``scenario.user_groups`` order and columns index the ascending
+    ``peering_ids`` list of every policy-compliant candidate peering.
+    """
+
+    ug_ids: Tuple[int, ...]
+    peering_ids: Tuple[int, ...]
+    rows: "np.ndarray"
+    cols: "np.ndarray"
+    gains: "np.ndarray"
+
+    @property
+    def n_ugs(self) -> int:
+        return len(self.ug_ids)
+
+    @property
+    def n_peerings(self) -> int:
+        return len(self.peering_ids)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.gains)
+
+    def column_of(self, peering_id: int) -> int:
+        """Column index of ``peering_id`` (raises ``ValueError`` if absent)."""
+        col = int(np.searchsorted(self.peering_ids, peering_id))
+        if col >= self.n_peerings or self.peering_ids[col] != peering_id:
+            raise ValueError(f"peering {peering_id} has no candidate column")
+        return col
+
+    def selection_value(self, chosen_cols: Iterable[int]) -> float:
+        """Total benefit when exactly ``chosen_cols`` peerings are selected.
+
+        Each UG takes its best selected gain (or zero).  The reduction is
+        deterministic (``np.maximum.at`` scatter + one ``ndarray.sum``), so
+        two calls with selections achieving the same per-UG maxima return
+        bit-identical floats — the equality contract the brute-force oracle
+        and the ILP cross-check rely on.
+        """
+        chosen = np.asarray(sorted(set(int(c) for c in chosen_cols)), dtype=np.intp)
+        if chosen.size == 0 or self.nnz == 0:
+            return 0.0
+        if chosen.size and (chosen[0] < 0 or chosen[-1] >= self.n_peerings):
+            raise ValueError("selected column out of range")
+        mask = np.isin(self.cols, chosen)
+        best = np.zeros(self.n_ugs)
+        np.maximum.at(best, self.rows[mask], self.gains[mask])
+        return float(best.sum())
 
 
 class BenefitEvaluator:
@@ -241,6 +309,46 @@ class BenefitEvaluator:
         """One latency-matrix column, in ``user_groups`` order."""
         return [self.latency(ug, peering_id) for ug in user_groups]
 
+    def benefit_matrix(
+        self, user_groups: Optional[Sequence[UserGroup]] = None
+    ) -> BenefitMatrix:
+        """Extract the singleton-advertisement gain matrix (see
+        :class:`BenefitMatrix`).
+
+        Uses this evaluator's (cached) latency source, so the matrix is
+        consistent with every Eq.-2 expectation the greedy computed: for any
+        advertised set ``A`` the model's expectation is a mean over a subset
+        of ``A``'s measurable compliant ingresses, hence at least the best
+        singleton gain recorded here.  That inequality is what makes the
+        optimality comparator's LP bound sound for reuse configurations.
+        """
+        catalog = self._model.catalog
+        ugs = self._scenario.user_groups if user_groups is None else user_groups
+        peering_ids = sorted({pid for ug in ugs for pid in catalog.ingress_ids(ug)})
+        col_of = {pid: col for col, pid in enumerate(peering_ids)}
+        rows: List[int] = []
+        cols: List[int] = []
+        gains: List[float] = []
+        for row, ug in enumerate(ugs):
+            anycast = self._scenario.anycast_latency_ms(ug)
+            volume = ug.volume
+            for pid in sorted(catalog.ingress_ids(ug)):
+                latency = self.latency(ug, pid)
+                if latency is None:
+                    continue
+                gain = anycast - latency
+                if gain > 0.0:
+                    rows.append(row)
+                    cols.append(col_of[pid])
+                    gains.append(volume * gain)
+        return BenefitMatrix(
+            ug_ids=tuple(ug.ug_id for ug in ugs),
+            peering_ids=tuple(peering_ids),
+            rows=np.array(rows, dtype=np.intp),
+            cols=np.array(cols, dtype=np.intp),
+            gains=np.array(gains, dtype=np.float64),
+        )
+
     def begin_prefix_scan(
         self,
         *,
@@ -324,10 +432,18 @@ class BenefitEvaluator:
         if not improvements:
             return None
         closest = min(distances)
-        weights = [
-            math.exp(-(d - closest) / self._inflation_scale_km) for d in distances
-        ]
+        weights = [self._inflation_weight(d - closest) for d in distances]
         total_weight = sum(weights)
+        if not total_weight > 0.0:
+            # Every inflation weight vanished (or went non-finite): there is
+            # no defensible weighting left, so collapse to the 0-width range
+            # at the closest ingress's improvement instead of dividing by
+            # zero — the scale -> 0 limit, where all probability mass sits
+            # on the least-inflated path.
+            value = improvements[distances.index(closest)]
+            return BenefitRange(
+                lower=value, mean=value, estimated=value, upper=value
+            )
         estimated = sum(i * w for i, w in zip(improvements, weights)) / total_weight
         return BenefitRange(
             lower=min(improvements),
@@ -335,6 +451,19 @@ class BenefitEvaluator:
             estimated=estimated,
             upper=max(improvements),
         )
+
+    def _inflation_weight(self, excess_km: float) -> float:
+        """Inflation-probability weight for a path ``excess_km`` beyond the
+        closest candidate.
+
+        A non-positive decay scale degrades to a hard cutoff (weight 1 at
+        the closest distance, 0 beyond) rather than raising
+        ``ZeroDivisionError`` inside ``exp``.
+        """
+        scale = self._inflation_scale_km
+        if scale <= 0.0:
+            return 1.0 if excess_km <= 0.0 else 0.0
+        return math.exp(-excess_km / scale)
 
     def benefit_range(
         self, ug: UserGroup, config: AdvertisementConfig

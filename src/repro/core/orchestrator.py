@@ -886,6 +886,26 @@ class PainterOrchestrator:
             for pid in self._affected
             if pid not in self._disabled_peerings
         )
+        if self._budget > len(all_peering_ids):
+            # An over-budget solve is feasible (extra prefixes simply go
+            # unallocated) but almost always a mis-specified experiment, and
+            # it would silently skew greedy-vs-ILP comparisons where the
+            # selection problem clamps its budget to the candidate count.
+            # Surface it loudly instead of under-allocating in silence.
+            logger.warning(
+                "prefix budget %d exceeds the %d distinct candidate "
+                "peerings; at most %d prefixes can be allocated "
+                "(optimality comparisons clamp to the candidate count)",
+                self._budget,
+                len(all_peering_ids),
+                len(all_peering_ids),
+            )
+            PERF.counter("orchestrator.budget_over_candidates").add()
+            emit_event(
+                "budget_over_candidates",
+                prefix_budget=self._budget,
+                candidate_peerings=len(all_peering_ids),
+            )
 
         # Warm-start replay state (see SolveMemo): while ``intact``, the
         # accept sequence still matches the memo and clean-peering values

@@ -20,6 +20,7 @@ from repro.experiments.fig12 import run_fig12
 from repro.experiments.fig14 import run_fig14
 from repro.experiments.fig15 import run_fig15a, run_fig15b
 from repro.experiments.harness import ExperimentResult, budget_grid, config_prefix_subset
+from repro.experiments.optimality import run_greedy_gap
 from repro.experiments.replay import (
     ReplayConfig,
     ReplayResult,
@@ -45,6 +46,7 @@ ALL_EXPERIMENTS = {
     "fig14": run_fig14,
     "fig15a": run_fig15a,
     "fig15b": run_fig15b,
+    "optimality": run_greedy_gap,
     "replay": run_replay,
     "ext_congestion": run_ext_congestion,
     "ext_egress": run_ext_egress,
@@ -71,6 +73,7 @@ __all__ = [
     "run_traffic_replay",
     "budget_grid",
     "config_prefix_subset",
+    "run_greedy_gap",
     "failover_summary",
     "run_fig10",
     "run_fig11a",

@@ -1,0 +1,171 @@
+"""GreedyGap: Algorithm 1's measured optimality gap against the exact ILP.
+
+For a ladder of instance sizes this experiment runs the real Algorithm-1
+greedy with reuse disabled (so greedy and ILP solve the *same* budget-k
+selection problem), solves that problem exactly with
+:func:`repro.optimality.solve_ilp`, computes the LP-relaxation upper bound,
+and reports benefit gaps plus solve-time scaling — the tripwire ROADMAP
+item 2 asked for, in the shape of SNIPPETS.md's NetworksFinal sweeps
+(formulations across instance sizes with solve-time growth curves).
+
+Soundness is asserted inline on every row: ``greedy <= lp_bound`` and
+``ilp <= lp_bound`` (within float round-off), and on brute-forceable
+instances the ILP value must match exhaustive enumeration bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional, Sequence, Tuple
+
+from repro.core import BenefitEvaluator, OrchestratorConfig, PainterOrchestrator, RoutingModel
+from repro.experiments.harness import ExperimentResult
+from repro.optimality import (
+    DEFAULT_REL_TOL,
+    SelectionProblem,
+    brute_force,
+    greedy_selection,
+    lp_bound,
+    solve_ilp,
+)
+from repro.scenario import Scenario, azure_scenario, prototype_scenario, tiny_scenario
+
+__all__ = ["run_greedy_gap", "default_ladder"]
+
+#: Budgets swept per instance by default.
+DEFAULT_BUDGETS: Tuple[int, ...] = (4, 8)
+
+#: Don't brute-force cross-check instances with more candidate sets than
+#: this (the experiment's cap is tighter than the solver's hard cap so the
+#: sweep stays interactive).
+BRUTE_FORCE_CHECK_LIMIT = 150_000
+
+
+def default_ladder() -> Sequence[Tuple[str, Scenario]]:
+    """Instance-size ladder: tiny oracle up through an azure subset."""
+    return (
+        ("tiny", tiny_scenario(seed=3)),
+        ("prototype-100", prototype_scenario(seed=0, n_ugs=100)),
+        ("prototype-200", prototype_scenario(seed=0, n_ugs=200)),
+        ("azure-200", azure_scenario(seed=0, n_ugs=200)),
+    )
+
+
+def _greedy_no_reuse(scenario: Scenario, budget: int) -> Tuple[float, float]:
+    """Algorithm 1 with reuse disabled: (expected benefit, wall seconds)."""
+    orchestrator = PainterOrchestrator(
+        scenario,
+        OrchestratorConfig(prefix_budget=budget, allow_reuse=False),
+    )
+    started = time.perf_counter()
+    config = orchestrator.solve()
+    elapsed = time.perf_counter() - started
+    return orchestrator.evaluator.expected_benefit(config), elapsed
+
+
+def run_greedy_gap(
+    scenario: Optional[Scenario] = None,
+    budgets: Sequence[int] = DEFAULT_BUDGETS,
+    backend: str = "auto",
+    time_limit_s: Optional[float] = 120.0,
+    run_orchestrator: bool = True,
+) -> ExperimentResult:
+    """Greedy-vs-ILP benefit gap and solve-time scaling.
+
+    With ``scenario`` the sweep covers just that instance; otherwise the
+    :func:`default_ladder` of sizes runs.  ``run_orchestrator=False`` swaps
+    the real Algorithm-1 greedy for the fast matrix-level mirror
+    (:func:`repro.optimality.greedy_selection`) — same selection semantics,
+    useful where orchestrator solves would dominate the runtime.
+    """
+    instances = (
+        [(f"custom-{len(scenario.user_groups)}", scenario)]
+        if scenario is not None
+        else list(default_ladder())
+    )
+    result = ExperimentResult(
+        experiment_id="optimality",
+        title="GreedyGap: Algorithm 1 vs exact ILP vs LP bound",
+        columns=[
+            "scenario",
+            "n_ugs",
+            "n_peerings",
+            "budget",
+            "greedy_benefit",
+            "ilp_benefit",
+            "lp_bound",
+            "gap_pct",
+            "greedy_time_s",
+            "ilp_time_s",
+            "lp_time_s",
+            "ilp_status",
+        ],
+    )
+    brute_checked = 0
+    for name, inst in instances:
+        evaluator = BenefitEvaluator(inst, RoutingModel(inst.catalog))
+        matrix = evaluator.benefit_matrix()
+        for budget in budgets:
+            problem = SelectionProblem.build(matrix, budget)
+            if run_orchestrator:
+                greedy_value, greedy_time = _greedy_no_reuse(inst, budget)
+            else:
+                started = time.perf_counter()
+                greedy_value, _ = greedy_selection(problem)
+                greedy_time = time.perf_counter() - started
+            ilp = solve_ilp(
+                problem, backend=backend, time_limit_s=time_limit_s
+            )
+            lp = lp_bound(problem)
+            slack = lp.value * DEFAULT_REL_TOL + 1e-9
+            if greedy_value > lp.value + slack:
+                raise AssertionError(
+                    f"{name} k={budget}: greedy {greedy_value!r} exceeds "
+                    f"LP bound {lp.value!r}"
+                )
+            if ilp.value > lp.value + slack:
+                raise AssertionError(
+                    f"{name} k={budget}: ILP {ilp.value!r} exceeds "
+                    f"LP bound {lp.value!r}"
+                )
+            n, k = matrix.n_peerings, problem.budget
+            if n and math.comb(n, min(k, n)) <= BRUTE_FORCE_CHECK_LIMIT:
+                brute_value, _ = brute_force(problem)
+                if brute_value != ilp.value:
+                    raise AssertionError(
+                        f"{name} k={budget}: ILP {ilp.value!r} != brute "
+                        f"force {brute_value!r}"
+                    )
+                brute_checked += 1
+            gap_pct = (
+                (ilp.value - greedy_value) / ilp.value * 100.0
+                if ilp.value > 0.0
+                else 0.0
+            )
+            result.add_row(
+                name,
+                len(inst.user_groups),
+                matrix.n_peerings,
+                budget,
+                greedy_value,
+                ilp.value,
+                lp.value,
+                gap_pct,
+                greedy_time,
+                ilp.solve_time_s,
+                lp.solve_time_s,
+                ilp.status,
+            )
+    result.add_note(
+        "greedy = Algorithm 1 with reuse disabled (same feasible set as the "
+        "ILP); gap_pct = (ilp - greedy) / ilp."
+        if run_orchestrator
+        else "greedy = matrix-level greedy mirror (run_orchestrator=False)."
+    )
+    result.add_note(
+        f"soundness held on every row (benefit <= LP bound, rel tol "
+        f"{DEFAULT_REL_TOL:g}); ILP matched exhaustive enumeration "
+        f"bit-for-bit on {brute_checked} brute-forceable instance(s)."
+    )
+    return result

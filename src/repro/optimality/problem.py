@@ -1,0 +1,173 @@
+"""The budget-k peering-selection problem behind the optimality comparator.
+
+PAINTER's Algorithm 1 with reuse disabled (``allow_reuse=False``) reduces to
+*selection*: pick at most ``k`` peerings, advertise one prefix per pick, and
+every user group routes to its best (highest singleton gain) selected
+ingress.  That problem is linearizable over the sparse gain matrix extracted
+by :meth:`repro.core.BenefitEvaluator.benefit_matrix`, which is what lets us
+pose it as an ILP (:mod:`repro.optimality.solvers`) and compare the greedy's
+benefit against a provably optimal value — ROADMAP item 2.
+
+For reuse configurations the same machinery still yields a sound *upper
+envelope*: any config advertising ``m`` distinct peerings is dominated by
+the selection optimum at budget ``m`` (the Eq.-2 expectation over an
+advertised set is a mean over a subset of its measurable compliant
+ingresses, hence at least the minimum — i.e. at most the best singleton
+gain).  :mod:`repro.optimality.gates` builds on that inequality.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.benefit import BenefitEvaluator, BenefitMatrix
+
+__all__ = [
+    "SelectionProblem",
+    "brute_force",
+    "greedy_selection",
+]
+
+#: Refuse to enumerate more candidate sets than this in :func:`brute_force`.
+MAX_BRUTE_FORCE_COMBINATIONS = 500_000
+
+
+@dataclass(frozen=True)
+class SelectionProblem:
+    """A budget-k selection instance over a sparse gain matrix.
+
+    ``budget`` is always clamped to the number of candidate peerings —
+    selecting every column is the maximum any budget can buy — while
+    ``requested_budget`` preserves what the caller asked for so diagnostics
+    can surface over-budget requests (mirroring the orchestrator's
+    ``prefix_budget`` validation).
+    """
+
+    matrix: BenefitMatrix
+    budget: int
+    requested_budget: int
+
+    def __post_init__(self) -> None:
+        if self.requested_budget < 1:
+            raise ValueError("selection budget must be at least 1")
+        if self.budget != min(self.requested_budget, self.matrix.n_peerings):
+            raise ValueError(
+                "budget must be the requested budget clamped to the "
+                f"{self.matrix.n_peerings} candidate peerings"
+            )
+
+    @classmethod
+    def build(cls, matrix: BenefitMatrix, budget: int) -> "SelectionProblem":
+        """Clamp ``budget`` against the candidate columns and wrap up."""
+        if budget < 1:
+            raise ValueError("selection budget must be at least 1")
+        return cls(
+            matrix=matrix,
+            budget=min(budget, matrix.n_peerings),
+            requested_budget=budget,
+        )
+
+    @classmethod
+    def from_evaluator(
+        cls, evaluator: BenefitEvaluator, budget: int
+    ) -> "SelectionProblem":
+        """Extract the gain matrix from ``evaluator`` and build an instance."""
+        return cls.build(evaluator.benefit_matrix(), budget)
+
+    @property
+    def over_budget(self) -> bool:
+        """True when the caller asked for more picks than candidates exist."""
+        return self.requested_budget > self.matrix.n_peerings
+
+    def value_of(self, chosen_cols: Sequence[int]) -> float:
+        """Objective value of a concrete selection (deterministic float)."""
+        if len(set(int(c) for c in chosen_cols)) > self.budget:
+            raise ValueError(
+                f"selection uses {len(set(chosen_cols))} columns, "
+                f"budget is {self.budget}"
+            )
+        return self.matrix.selection_value(chosen_cols)
+
+
+def greedy_selection(problem: SelectionProblem) -> Tuple[float, Tuple[int, ...]]:
+    """Plain greedy on the selection problem — the matrix-level mirror of
+    Algorithm 1 with reuse disabled.
+
+    Each round picks the column with the largest marginal increase of the
+    coverage objective, stopping early once no column improves.  Returns
+    ``(value, chosen columns)`` with the value recomputed through
+    :meth:`BenefitMatrix.selection_value` so it is bit-comparable with the
+    ILP/brute-force numbers.
+    """
+    matrix = problem.matrix
+    if matrix.nnz == 0:
+        return 0.0, ()
+    order = np.argsort(matrix.cols, kind="stable")
+    sorted_cols = matrix.cols[order]
+    sorted_rows = matrix.rows[order]
+    sorted_gains = matrix.gains[order]
+    # Column c's entries live in sorted_* slices [starts[c], starts[c + 1]).
+    starts = np.searchsorted(sorted_cols, np.arange(matrix.n_peerings + 1))
+
+    best = np.zeros(matrix.n_ugs, dtype=np.float64)
+    chosen: list[int] = []
+    remaining = set(range(matrix.n_peerings))
+    for _ in range(problem.budget):
+        best_col = -1
+        best_marginal = 0.0
+        for col in sorted(remaining):
+            lo, hi = starts[col], starts[col + 1]
+            if lo == hi:
+                continue
+            marginal = float(
+                np.maximum(sorted_gains[lo:hi] - best[sorted_rows[lo:hi]], 0.0).sum()
+            )
+            if marginal > best_marginal:
+                best_marginal = marginal
+                best_col = col
+        if best_col < 0:
+            break
+        lo, hi = starts[best_col], starts[best_col + 1]
+        np.maximum.at(best, sorted_rows[lo:hi], sorted_gains[lo:hi])
+        chosen.append(best_col)
+        remaining.discard(best_col)
+    chosen_t = tuple(sorted(chosen))
+    return matrix.selection_value(chosen_t), chosen_t
+
+
+def brute_force(
+    problem: SelectionProblem,
+    max_combinations: int = MAX_BRUTE_FORCE_COMBINATIONS,
+) -> Tuple[float, Tuple[int, ...]]:
+    """Exhaustively enumerate every budget-sized column set (tiny instances).
+
+    The selection objective is monotone, so only exactly-``budget``-sized
+    sets (or all columns, if fewer) need checking.  Serves as the
+    correctness oracle for the ILP backends: both recompute values through
+    the same :meth:`BenefitMatrix.selection_value`, so on any instance small
+    enough to enumerate, ``ilp_value == brute_value`` must hold bit-for-bit.
+    """
+    matrix = problem.matrix
+    n = matrix.n_peerings
+    k = min(problem.budget, n)
+    if n == 0 or matrix.nnz == 0:
+        return 0.0, ()
+    total = math.comb(n, k)
+    if total > max_combinations:
+        raise ValueError(
+            f"brute force would enumerate {total} combinations "
+            f"(> {max_combinations}); use the ILP backend instead"
+        )
+    best_value = -1.0
+    best_set: Tuple[int, ...] = ()
+    for combo in itertools.combinations(range(n), k):
+        value = matrix.selection_value(combo)
+        if value > best_value:
+            best_value = value
+            best_set = combo
+    return best_value, best_set

@@ -12,10 +12,15 @@ arrives over the control pipe).
 
 from __future__ import annotations
 
+import logging
 from multiprocessing import shared_memory
 from typing import Sequence, Tuple
 
 import numpy as np
+
+from repro.perf import PERF
+
+logger = logging.getLogger(__name__)
 
 
 class SharedArray:
@@ -42,21 +47,42 @@ class SharedArray:
         return self._shm.name
 
     def close(self, unlink: bool = False) -> None:
-        """Release the local mapping (and destroy the segment if ``unlink``)."""
+        """Release the local mapping (and destroy the segment if ``unlink``).
+
+        Expected teardown races — the segment already unlinked by a peer
+        (``FileNotFoundError``) or a still-live exported buffer view
+        (``BufferError``) — stay silent; anything else is counted in the
+        ``parallel.shm_teardown_errors`` metric and logged so leaked
+        shared-memory segments are visible instead of swallowed.
+        """
         if self._closed:
             return
         self._closed = True
         # Drop the numpy view first: SharedMemory.close() invalidates buf.
         self.array = None
+        name = self._shm.name
         try:
             self._shm.close()
-        except Exception:  # pragma: no cover - platform-dependent teardown
+        except (FileNotFoundError, BufferError):
             pass
+        except Exception:
+            PERF.counter("parallel.shm_teardown_errors").add()
+            logger.warning(
+                "unexpected error closing shared-memory segment %s", name,
+                exc_info=True,
+            )
         if unlink:
             try:
                 self._shm.unlink()
-            except Exception:  # pragma: no cover - already unlinked
+            except (FileNotFoundError, BufferError):
                 pass
+            except Exception:
+                PERF.counter("parallel.shm_teardown_errors").add()
+                logger.warning(
+                    "unexpected error unlinking shared-memory segment %s",
+                    name,
+                    exc_info=True,
+                )
 
     def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
         try:

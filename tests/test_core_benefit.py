@@ -105,6 +105,32 @@ class TestRanges:
             u.ug_id for u in scenario.user_groups
         }
 
+    def test_zero_inflation_scale_collapses_to_closest(self, scenario):
+        # Regression: inflation_scale_km=0 used to divide by zero inside
+        # the exp weight; it now degrades to a hard cutoff at the closest
+        # ingress and the range collapses to a 0-width point.
+        evaluator = BenefitEvaluator(
+            scenario, RoutingModel(scenario.catalog), inflation_scale_km=0.0
+        )
+        ug = scenario.user_groups[0]
+        config = _config_for(scenario, ug, k=4)
+        rng = evaluator.benefit_range(ug, config)
+        assert rng.lower <= rng.estimated <= rng.upper
+        evaluation = evaluator.evaluate(config)
+        assert evaluation.lower <= evaluation.estimated <= evaluation.upper
+
+    def test_all_zero_weights_degenerate_range(self, scenario, evaluator, monkeypatch):
+        # Regression: when every candidate weight vanishes the estimated
+        # mean must not raise ZeroDivisionError; the range collapses to the
+        # closest ingress's improvement instead.
+        monkeypatch.setattr(
+            type(evaluator), "_inflation_weight", lambda self, excess_km: 0.0
+        )
+        ug = scenario.user_groups[0]
+        config = _config_for(scenario, ug, k=4)
+        rng = evaluator.benefit_range(ug, config)
+        assert rng.lower == rng.mean == rng.estimated == rng.upper
+
     def test_as_fraction_of(self, scenario, evaluator):
         ug = scenario.user_groups[0]
         config = _config_for(scenario, ug, k=2)

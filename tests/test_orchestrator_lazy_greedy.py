@@ -159,6 +159,49 @@ class TestGoldenConfigs:
         assert config_pairs(configs[0]) == config_pairs(configs[1])
 
 
+class TestBudgetDiagnostic:
+    def test_over_budget_solve_warns_and_counts(self, caplog):
+        """A budget beyond the candidate peerings must be surfaced loudly.
+
+        The solve still succeeds (extra prefixes simply go unallocated) but
+        the orchestrator logs a warning and bumps the
+        ``orchestrator.budget_over_candidates`` counter so the
+        mis-specification is visible — and so greedy-vs-ILP comparisons
+        (which clamp to the candidate count) are read at the right budget.
+        """
+        import logging
+
+        from repro.scenario import tiny_scenario
+
+        scenario = tiny_scenario(seed=3)
+        n_candidates = len(
+            {
+                pid
+                for ug in scenario.user_groups
+                for pid in scenario.catalog.ingress_ids(ug)
+            }
+        )
+        before = PERF.counter("orchestrator.budget_over_candidates").value
+        orchestrator = PainterOrchestrator(
+            scenario, prefix_budget=n_candidates + 5
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.core.orchestrator"):
+            config = orchestrator.solve()
+        assert PERF.counter("orchestrator.budget_over_candidates").value > before
+        assert any(
+            "exceeds" in record.message and "candidate" in record.message
+            for record in caplog.records
+        )
+        assert len(config.all_peering_ids()) <= n_candidates
+
+    def test_in_budget_solve_stays_silent(self):
+        from repro.scenario import tiny_scenario
+
+        before = PERF.counter("orchestrator.budget_over_candidates").value
+        PainterOrchestrator(tiny_scenario(seed=3), prefix_budget=3).solve()
+        assert PERF.counter("orchestrator.budget_over_candidates").value == before
+
+
 class TestLazinessCounters:
     def test_marginal_evals_stay_below_naive_count(self):
         """The heap must skip most re-evaluations a naive greedy would do.

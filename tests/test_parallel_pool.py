@@ -244,6 +244,37 @@ class TestSharedArray:
         arr.close(unlink=True)
         assert arr.array is None
 
+    def test_expected_teardown_races_stay_silent(self):
+        from repro.perf import PERF
+
+        before = PERF.counter("parallel.shm_teardown_errors").value
+        arr = SharedArray((2,), fill=0.0)
+
+        real_unlink = arr._shm.unlink
+
+        def raise_missing():
+            raise FileNotFoundError(arr.name)
+
+        arr._shm.unlink = raise_missing
+        arr.close(unlink=True)  # must not raise and must not count
+        assert PERF.counter("parallel.shm_teardown_errors").value == before
+        real_unlink()  # actual cleanup so the segment doesn't leak
+
+    def test_unexpected_teardown_error_is_counted(self):
+        from repro.perf import PERF
+
+        before = PERF.counter("parallel.shm_teardown_errors").value
+        arr = SharedArray((2,), fill=0.0)
+        real_close = arr._shm.close
+
+        def boom():
+            raise OSError("segment wedged")
+
+        arr._shm.close = boom
+        arr.close(unlink=True)  # swallowed, but visible in the metric
+        assert PERF.counter("parallel.shm_teardown_errors").value == before + 1
+        real_close()  # actual cleanup so the segment doesn't leak the test
+
 
 class _Echo:
     """A trivial pool handler for protocol tests."""
