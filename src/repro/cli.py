@@ -28,12 +28,19 @@ import contextlib
 import sys
 from typing import Iterator, List, Optional
 
-from repro.scenario import Scenario, azure_scenario, prototype_scenario, tiny_scenario
+from repro.scenario import (
+    Scenario,
+    azure_scenario,
+    mega_scenario,
+    prototype_scenario,
+    tiny_scenario,
+)
 
 _PRESETS = {
     "tiny": tiny_scenario,
     "prototype": prototype_scenario,
     "azure": azure_scenario,
+    "mega": mega_scenario,
 }
 
 
@@ -97,6 +104,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         OrchestratorConfig(
             prefix_budget=args.budget,
             d_reuse_km=args.d_reuse,
+            backend=args.backend,
             workers=args.workers,
             worker_timeout_s=args.worker_timeout,
         ),
@@ -201,7 +209,10 @@ def cmd_perf(args: argparse.Namespace) -> int:
     PERF.reset()
     scenario = _scenario_from(args)
     orchestrator = PainterOrchestrator(
-        scenario, OrchestratorConfig(prefix_budget=args.budget, d_reuse_km=args.d_reuse)
+        scenario,
+        OrchestratorConfig(
+            prefix_budget=args.budget, d_reuse_km=args.d_reuse, backend=args.backend
+        ),
     )
     if args.iterations > 0:
         orchestrator.learn(iterations=args.iterations)
@@ -389,6 +400,12 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--iterations", type=int, default=3, help="learning iterations")
     solve.add_argument("--d-reuse", type=float, default=3000.0, help="D_reuse (km)")
     solve.add_argument(
+        "--backend", type=str, default="auto",
+        help="compute backend for marginal evaluation (auto/numpy/numba/cupy; "
+        "all backends produce bit-identical results, unavailable ones fall "
+        "back to numpy with a warning)",
+    )
+    solve.add_argument(
         "--workers", type=int, default=0,
         help="shard each solve across N fork workers (bit-identical results; "
         "0 = serial)",
@@ -455,6 +472,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="learning iterations (0 = a single solve pass)",
     )
     perf.add_argument("--d-reuse", type=float, default=3000.0, help="D_reuse (km)")
+    perf.add_argument(
+        "--backend", type=str, default="auto",
+        help="compute backend for marginal evaluation (auto/numpy/numba/cupy)",
+    )
     perf.set_defaults(func=cmd_perf)
 
     tm_bench = sub.add_parser(

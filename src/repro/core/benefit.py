@@ -16,14 +16,23 @@ Terminology follows the paper:
 from __future__ import annotations
 
 import math
+import warnings
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from repro.core.advertisement import AdvertisementConfig
 from repro.core.routing_model import RoutingModel
+from repro.kernels import (
+    ComputeBackend,
+    MatrixLayoutPlan,
+    ScanContext,
+    coerce_backend,
+    plan_matrix_layout,
+)
+from repro.kernels.layout import DEFAULT_CHUNK_BYTES
 from repro.perf import PERF
 from repro.routing.ground_truth import GroundTruthRouting
 from repro.scenario import Scenario
@@ -162,10 +171,16 @@ class BenefitEvaluator:
         model: RoutingModel,
         latency_of: Optional[LatencyFn] = None,
         inflation_scale_km: float = DEFAULT_INFLATION_SCALE_KM,
+        backend: Union[str, ComputeBackend, None] = None,
     ) -> None:
         self._scenario = scenario
         self._model = model
         self._inflation_scale_km = inflation_scale_km
+        #: The compute backend owns the elementwise hot-loop kernels and
+        #: the (optional) dense latency/distance matrices.  ``None`` means
+        #: the numpy reference; a string resolves through the registry
+        #: (with graceful fallback — see :mod:`repro.kernels`).
+        self._backend = coerce_backend(backend)
         if latency_of is None:
             deployment = scenario.deployment
             latency_model = scenario.latency_model
@@ -194,15 +209,35 @@ class BenefitEvaluator:
         #: ingresses, built on first fast-path use (see :class:`PrefixScan`).
         #: Distances and true latencies are immutable, so no invalidation.
         self._scan_tables: Dict[int, Dict[int, Tuple[float, Optional[float]]]] = {}
-        #: Optional dense UG-row × peering-column latency matrix adopted from
-        #: a parallel fill (see :meth:`adopt_latency_matrix`).  ``nan`` means
-        #: "not computed", ``+inf`` encodes an unmeasurable ingress (None).
-        self._dense_lat = None
+        #: UG id → dense-matrix row, built lazily on the first dense lookup
+        #: (the backend may have matrices bound before or after
+        #: construction — see :meth:`ComputeBackend.bind_latency_matrix`).
         self._dense_rows: Optional[Dict[int, int]] = None
 
-    def _scan_table(self, ug: UserGroup) -> Dict[int, Tuple[float, Optional[float]]]:
+    def _dense_row_of(self, ug_id: int) -> Optional[int]:
+        if self._dense_rows is None:
+            self._dense_rows = {
+                ug.ug_id: i for i, ug in enumerate(self._scenario.user_groups)
+            }
+        return self._dense_rows.get(ug_id)
+
+    def _scan_table(self, ug: UserGroup):
         table = self._scan_tables.get(ug.ug_id)
         if table is None:
+            backend = self._backend
+            if (
+                backend.latency_matrix is not None
+                and backend.distance_matrix is not None
+            ):
+                # Large-world path: both matrices are materialized, so the
+                # per-UG table is a thin view instead of a dict — at 100k
+                # UGs the dicts alone would cost gigabytes.
+                row = self._dense_row_of(ug.ug_id)
+                if row is not None:
+                    table = self._scan_tables[ug.ug_id] = _DenseRowTable(
+                        self, ug, row
+                    )
+                    return table
             model = self._model
             table = self._scan_tables[ug.ug_id] = {
                 pid: (model.distance_km(ug, pid), self.latency(ug, pid))
@@ -225,10 +260,11 @@ class BenefitEvaluator:
         col = self._lat_cols[peering_id]
         value = row[col]
         if value is _UNSET:
-            if self._dense_lat is not None:
-                dense_row = self._dense_rows.get(ug.ug_id)
+            dense_lat = self._backend.latency_matrix
+            if dense_lat is not None:
+                dense_row = self._dense_row_of(ug.ug_id)
                 if dense_row is not None:
-                    dense_value = self._dense_lat[dense_row, col]
+                    dense_value = dense_lat[dense_row, col]
                     if dense_value == dense_value:  # not nan: slot was filled
                         self._lat_stats.hits += 1
                         value = (
@@ -243,31 +279,41 @@ class BenefitEvaluator:
             self._lat_stats.hits += 1
         return value
 
-    def adopt_latency_matrix(self, matrix) -> None:
-        """Serve :meth:`latency` lookups from a dense row-major matrix.
+    @property
+    def backend(self) -> ComputeBackend:
+        """The compute backend (kernels + dense-matrix binding)."""
+        return self._backend
 
-        ``matrix`` is indexed ``[ug row, peering column]`` with UG rows in
-        ``scenario.user_groups`` order and peering columns in deployment
-        order (:attr:`peering_columns`).  Slot encoding: ``nan`` = not
-        computed (falls back to the latency source), ``+inf`` = computed but
-        unmeasurable (``None``), anything else = latency in ms.  The parallel
-        solver uses this to share one worker-filled shared-memory matrix with
-        the parent process instead of recomputing every entry serially.
+    def adopt_latency_matrix(self, matrix) -> None:
+        """Deprecated: use ``evaluator.backend.bind_latency_matrix``.
+
+        The dense UG-row × peering-column matrix now lives on the
+        :class:`ComputeBackend` so the serial evaluator, the vectorized
+        affected-array build, and the parallel shard workers all share one
+        binding surface.  This shim keeps legacy callers working.
         """
-        self._dense_lat = matrix
-        if self._dense_rows is None:
-            self._dense_rows = {
-                ug.ug_id: i for i, ug in enumerate(self._scenario.user_groups)
-            }
+        warnings.warn(
+            "BenefitEvaluator.adopt_latency_matrix is deprecated; use "
+            "evaluator.backend.bind_latency_matrix(matrix)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._backend.bind_latency_matrix(matrix)
 
     def drop_latency_matrix(self) -> None:
-        """Stop consulting the adopted dense matrix (pool teardown).
+        """Deprecated: use ``evaluator.backend.release_latency_matrix``.
 
         Values already promoted into the per-UG rows stay; unseen slots
         fall back to the (deterministic) latency source, so dropping the
         matrix never changes what :meth:`latency` returns.
         """
-        self._dense_lat = None
+        warnings.warn(
+            "BenefitEvaluator.drop_latency_matrix is deprecated; use "
+            "evaluator.backend.release_latency_matrix()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._backend.release_latency_matrix()
 
     @property
     def peering_columns(self) -> Dict[int, int]:
@@ -302,6 +348,71 @@ class BenefitEvaluator:
                     row[col] = self._latency_of(ug, pid)
                     filled += 1
         return filled
+
+    def materialize_latency_matrices(
+        self,
+        *,
+        budget_bytes: Optional[int] = None,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> MatrixLayoutPlan:
+        """Materialize dense latency **and** distance matrices on the backend.
+
+        The large-world replacement for :meth:`precompute_latency_matrix`:
+        instead of per-UG Python-list rows (hundreds of bytes per boxed
+        slot), every value Algorithm 1 can touch lands in two flat float64
+        matrices — latency (``+inf`` = unmeasurable, ``nan`` = slot outside
+        the policy-compliant set) and great-circle distance.  Fill runs in
+        row chunks, and the latency-model / distance memo dicts are trimmed
+        after each chunk: their entries are pure deterministic functions of
+        (UG, peering), so re-deriving any later lookup returns bit-identical
+        values while transient memory stays bounded by the chunk, not the
+        world.
+
+        Returns the :class:`MatrixLayoutPlan` used (raises
+        :class:`repro.kernels.MemoryBudgetExceeded` before allocating when
+        ``budget_bytes`` cannot hold both matrices).  Idempotent: a second
+        call with matrices already bound is a no-op.
+        """
+        backend = self._backend
+        if (
+            backend.latency_matrix is not None
+            and backend.distance_matrix is not None
+        ):
+            ugs = self._scenario.user_groups
+            return plan_matrix_layout(
+                len(ugs), len(self._lat_cols), budget_bytes=budget_bytes,
+                chunk_bytes=chunk_bytes,
+            )
+        ugs = self._scenario.user_groups
+        n_rows = len(ugs)
+        n_cols = len(self._lat_cols)
+        plan = plan_matrix_layout(
+            n_rows, n_cols, budget_bytes=budget_bytes, chunk_bytes=chunk_bytes
+        )
+        model = self._model
+        catalog = model.catalog
+        cols = self._lat_cols
+        latency_of = self._latency_of
+        lat = np.full((n_rows, n_cols), np.nan)
+        dist = np.full((n_rows, n_cols), np.nan)
+        with PERF.timed("kernels.materialize_s"):
+            for start in range(0, n_rows, plan.chunk_rows):
+                stop = min(start + plan.chunk_rows, n_rows)
+                for row in range(start, stop):
+                    ug = ugs[row]
+                    lat_row = lat[row]
+                    dist_row = dist[row]
+                    for pid in catalog.ingress_ids(ug):
+                        col = cols[pid]
+                        value = latency_of(ug, pid)
+                        lat_row[col] = np.inf if value is None else value
+                        dist_row[col] = model.distance_km(ug, pid)
+                model.clear_distance_caches()
+                latency_model = getattr(self._scenario, "latency_model", None)
+                if latency_model is not None:
+                    latency_model.clear_caches()
+        backend.bind_latency_matrix(lat, dist)
+        return plan
 
     def latencies_for(
         self, peering_id: int, user_groups: Sequence[UserGroup]
@@ -351,6 +462,7 @@ class BenefitEvaluator:
 
     def begin_prefix_scan(
         self,
+        context: Optional[ScanContext] = None,
         *,
         learned_ug_ids: Optional[Set[int]] = None,
         table_source: Optional[
@@ -359,15 +471,37 @@ class BenefitEvaluator:
     ) -> "PrefixScan":
         """Start an incremental Eq.-2 session for one prefix's inner loop.
 
+        Injected state arrives as a :class:`repro.kernels.ScanContext`:
         ``learned_ug_ids`` overrides the routing model's live learned set —
         a parallel shard worker whose forked model is frozen at pool-creation
-        time passes the authoritative set it received from the parent.
-        ``table_source`` overrides how per-UG scan tables are built (shard
-        workers source them from the shared latency/distance matrices rather
-        than re-deriving each entry from the latency oracle).
+        time passes the authoritative set it received from the parent —
+        and ``table_source`` overrides how per-UG scan tables are built
+        (shard workers source them from the shared latency/distance
+        matrices rather than re-deriving each entry from the latency
+        oracle).  The loose ``learned_ug_ids=``/``table_source=`` keywords
+        are deprecated aliases.
         """
+        if learned_ug_ids is not None or table_source is not None:
+            warnings.warn(
+                "begin_prefix_scan(learned_ug_ids=..., table_source=...) is "
+                "deprecated; pass begin_prefix_scan(context=ScanContext(...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if context is not None:
+                raise TypeError(
+                    "pass either a ScanContext or the legacy keyword "
+                    "arguments, not both"
+                )
+            context = ScanContext(
+                learned_ug_ids=learned_ug_ids, table_source=table_source
+            )
+        if context is None:
+            context = ScanContext()
         return PrefixScan(
-            self, learned_ug_ids=learned_ug_ids, table_source=table_source
+            self,
+            learned_ug_ids=context.learned_ug_ids,
+            table_source=context.table_source,
         )
 
     # -- Eq. 2: modeled improvement -------------------------------------------
@@ -494,6 +628,46 @@ class BenefitEvaluator:
         return ConfigEvaluation(
             lower=lower, mean=mean, estimated=estimated, upper=upper, per_ug_estimated=per_ug
         )
+
+
+class _DenseRowTable:
+    """A per-UG scan table served from the backend's dense matrices.
+
+    Duck-types the ``{pid: (distance, latency)}`` dict the fast scan reads
+    (only ``table[pid]`` is ever used) while costing one small object per
+    UG instead of a ~hundreds-of-entries dict — the difference between
+    fitting and not fitting the 100k-UG ``mega`` preset in memory.  Lookups
+    outside the UG's policy-compliant set hit ``nan`` slots and raise
+    ``KeyError`` like the dict would; ``nan`` latency slots inside the set
+    (not materialized) fall back to the evaluator's oracle path.
+    """
+
+    __slots__ = ("_ev", "_ug", "_row")
+
+    def __init__(self, evaluator: "BenefitEvaluator", ug: UserGroup, row: int) -> None:
+        self._ev = evaluator
+        self._ug = ug
+        self._row = row
+
+    def __getitem__(self, peering_id: int) -> Tuple[float, Optional[float]]:
+        ev = self._ev
+        backend = ev._backend
+        if backend.distance_matrix is None or backend.latency_matrix is None:
+            # Matrices released after this table was built: recompute from
+            # the deterministic oracles (bit-identical values).
+            return (
+                ev._model.distance_km(self._ug, peering_id),
+                ev.latency(self._ug, peering_id),
+            )
+        col = ev._lat_cols[peering_id]
+        row = self._row
+        dist = float(backend.distance_matrix[row, col])
+        if dist != dist:  # nan: not policy-compliant for this UG
+            raise KeyError(peering_id)
+        lat = float(backend.latency_matrix[row, col])
+        if lat != lat:  # nan: slot not materialized — use the oracle
+            return dist, ev.latency(self._ug, peering_id)
+        return dist, (None if math.isinf(lat) else lat)
 
 
 class PrefixScan:

@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.advertisement import AdvertisementConfig
 from repro.core.benefit import BenefitEvaluator, LatencyFn, realized_benefit
 from repro.core.routing_model import DEFAULT_D_REUSE_KM, RoutingModel
+from repro.kernels import ComputeBackend
 from repro.perf import PERF
 from repro.scenario import Scenario
 from repro.telemetry import TRACER, emit_event
@@ -38,6 +39,11 @@ from repro.usergroups.usergroup import UserGroup
 
 #: Marginal benefit below this (volume-weighted ms) counts as "no benefit".
 EPSILON_BENEFIT = 1e-9
+#: UG-rows × peering-columns slot count at which
+#: ``OrchestratorConfig.dense_matrices=None`` flips to the dense layout.
+#: Far above every classic preset (azure ≈ 1M slots) and far below the
+#: ``mega`` preset (≈ 200M slots), so only genuinely large worlds switch.
+DENSE_AUTO_SLOTS = 32_000_000
 #: Histogram buckets for accepted marginal benefits (volume-weighted ms).
 _BENEFIT_BUCKETS = (
     0.01, 0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0,
@@ -77,6 +83,25 @@ class OrchestratorConfig:
     #: parallel path once this many consecutive solves have run serially.
     #: ``0`` keeps the pre-existing behavior: broken stays broken forever.
     parallel_retry_solves: int = 3
+    #: Compute backend for the marginal-evaluation kernels: a registry name
+    #: (``"auto"``, ``"numpy"``, ``"numba"``, ``"cupy"``) or a
+    #: :class:`repro.kernels.ComputeBackend` instance.  ``"auto"`` picks the
+    #: best available; an explicitly named backend that is missing or fails
+    #: to compile degrades to the numpy reference with a recorded fallback
+    #: (``kernels.fallbacks`` counter + ``backend_fallback`` event).  Every
+    #: backend is bit-identical to numpy by construction — see
+    #: :mod:`repro.kernels`.
+    backend: Union[str, ComputeBackend] = "auto"
+    #: Dense-matrix mode for very large worlds: ``None`` enables it
+    #: automatically when the UG×peering slot count reaches
+    #: ``DENSE_AUTO_SLOTS``; ``True``/``False`` force it on/off.  When on,
+    #: the evaluator materializes flat float64 latency/distance matrices
+    #: (chunked fill, memo trimming) instead of per-UG Python rows — the
+    #: layout that lets the ``mega`` preset fit in memory.
+    dense_matrices: Optional[bool] = None
+    #: Optional byte budget for the two dense matrices; exceeded budgets
+    #: raise ``MemoryBudgetExceeded`` before allocation.
+    dense_budget_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.prefix_budget < 1:
@@ -89,6 +114,12 @@ class OrchestratorConfig:
             raise ValueError("worker_timeout_s must be positive")
         if self.parallel_retry_solves < 0:
             raise ValueError("parallel_retry_solves must be non-negative")
+        if not isinstance(self.backend, (str, ComputeBackend)):
+            raise ValueError(
+                "backend must be a registry name or a ComputeBackend instance"
+            )
+        if self.dense_budget_bytes is not None and self.dense_budget_bytes < 1:
+            raise ValueError("dense_budget_bytes must be positive")
 
 
 def _coerce_orchestrator_config(
@@ -368,7 +399,8 @@ class PainterOrchestrator:
             scenario.catalog, d_reuse_km=config.d_reuse_km
         )
         self._evaluator = BenefitEvaluator(
-            scenario, self._model, latency_of=config.latency_of
+            scenario, self._model, latency_of=config.latency_of,
+            backend=config.backend,
         )
         self._affected: Dict[int, List[UserGroup]] = self._invert_catalog()
         self._allow_reuse = config.allow_reuse
@@ -441,6 +473,16 @@ class PainterOrchestrator:
                 affected.setdefault(pid, []).append(ug)
         return affected
 
+    def _use_dense_matrices(self) -> bool:
+        """Should this world use the backend's dense-matrix layout?"""
+        mode = self._config.dense_matrices
+        if mode is not None:
+            return bool(mode)
+        n_slots = len(self._scenario.user_groups) * len(
+            self._scenario.deployment.peerings
+        )
+        return n_slots >= DENSE_AUTO_SLOTS
+
     def _ensure_affected_arrays(self, vol_arr: "np.ndarray") -> None:
         """Build the static per-peering arrays the vectorized scan uses."""
         if self._aff_rows is not None:
@@ -448,6 +490,11 @@ class PainterOrchestrator:
         evaluator = self._evaluator
         model = self._model
         ug_index = self._ug_index
+        backend = evaluator.backend
+        lat_mat = backend.latency_matrix
+        dist_mat = backend.distance_matrix
+        dense = lat_mat is not None and dist_mat is not None
+        col_of = evaluator.peering_columns if dense else None
         self._aff_rows = {}
         for pid, affected in self._affected.items():
             rows = [ug_index[ug.ug_id] for ug in affected]
@@ -455,13 +502,31 @@ class PainterOrchestrator:
             idx = np.array(rows, dtype=np.intp)
             self._aff_idx[pid] = idx
             self._aff_vol[pid] = vol_arr[idx]
-            lats = evaluator.latencies_for(pid, affected)
-            self._aff_lat[pid] = np.array(
-                [np.nan if lat is None else lat for lat in lats]
-            )
-            self._aff_dist[pid] = np.array(
-                [model.distance_km(ug, pid) for ug in affected]
-            )
+            if dense:
+                # Vectorized gather from the materialized matrices: the
+                # stored doubles are the oracle values bit-for-bit (the
+                # dense encoding maps None↔+inf), so this produces exactly
+                # the arrays the per-pair path below would.
+                col = col_of[pid]
+                lat = lat_mat[idx, col]
+                unfilled = np.isnan(lat)
+                if unfilled.any():
+                    # Slots outside the materialized set: fall back to the
+                    # per-pair oracle for just those rows.
+                    for pos in np.nonzero(unfilled)[0]:
+                        value = evaluator.latency(affected[int(pos)], pid)
+                        lat[pos] = np.nan if value is None else value
+                lat[np.isinf(lat)] = np.nan
+                self._aff_lat[pid] = lat
+                self._aff_dist[pid] = dist_mat[idx, col]
+            else:
+                lats = evaluator.latencies_for(pid, affected)
+                self._aff_lat[pid] = np.array(
+                    [np.nan if lat is None else lat for lat in lats]
+                )
+                self._aff_dist[pid] = np.array(
+                    [model.distance_km(ug, pid) for ug in affected]
+                )
 
     def _learned_split(self, learned_rows: Set[int]):
         """Static arrays split into vectorized (unlearned) and exact parts.
@@ -641,7 +706,9 @@ class PainterOrchestrator:
         new_memo = SolveMemo()
         try:
             with TRACER.span(
-                "orchestrator.solve_warm", budget=self._budget
+                "orchestrator.solve_warm",
+                budget=self._budget,
+                backend=self._evaluator.backend.name,
             ) as span:
                 with PERF.timed("orchestrator.solve_warm"):
                     config = self._solve(
@@ -762,12 +829,25 @@ class PainterOrchestrator:
     ) -> AdvertisementConfig:
         """Greedy allocation of the prefix budget (one outer-loop pass).
 
-        ``workers`` overrides ``OrchestratorConfig.workers`` for this call;
-        any value above 1 shards the marginal evaluations across a
+        Parallelism and the compute backend are configured once on
+        :class:`OrchestratorConfig` (``workers=``, ``backend=``); any value
+        of ``workers`` above 1 shards the marginal evaluations across a
         persistent fork pool (``repro.parallel``) with bit-identical
-        results.  Worker failure falls back to the serial path.
+        results, and worker failure falls back to the serial path.  The
+        per-call ``workers=`` override is deprecated.
         """
-        with TRACER.span("orchestrator.solve", budget=self._budget) as span:
+        if workers is not None:
+            warnings.warn(
+                "solve(workers=...) is deprecated; set "
+                "OrchestratorConfig(workers=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        with TRACER.span(
+            "orchestrator.solve",
+            budget=self._budget,
+            backend=self._evaluator.backend.name,
+        ) as span:
             with PERF.timed("orchestrator.solve"):
                 config = self._solve_dispatch(record_curve, workers)
             span.tag("prefixes_used", config.prefix_count)
@@ -850,9 +930,20 @@ class PainterOrchestrator:
         marginal_hist = PERF.histogram(
             "orchestrator.marginal_benefit", _BENEFIT_BUCKETS
         )
-        # Fill the UG×peering latency matrix up front so the ranked scan
-        # below never pays a latency_of call mid-heap-operation.
-        evaluator.precompute_latency_matrix()
+        # Fill the UG×peering latency store up front so the ranked scan
+        # below never pays a latency_of call mid-heap-operation.  Large
+        # worlds (see DENSE_AUTO_SLOTS) materialize flat float64 matrices
+        # on the compute backend instead of per-UG Python rows; with a
+        # dense matrix already bound (parallel fill or an earlier
+        # materialization) the row precompute would only duplicate it, so
+        # it is skipped — unfilled slots fall back per lookup to the same
+        # deterministic oracle.
+        if self._use_dense_matrices():
+            evaluator.materialize_latency_matrices(
+                budget_bytes=self._config.dense_budget_bytes
+            )
+        if evaluator.backend.latency_matrix is None:
+            evaluator.precompute_latency_matrix()
 
         ugs = scenario.user_groups
         n_ugs = len(ugs)
@@ -964,6 +1055,7 @@ class PainterOrchestrator:
             csum_arr = np.zeros(n_ugs)
             ccnt_arr = np.zeros(n_ugs)
             ob_arr = base_np.copy()
+            backend = evaluator.backend
 
             def marginal(peering_id: int) -> Tuple[float, tuple]:
                 """Fresh marginal plus its summation detail.
@@ -979,25 +1071,24 @@ class PainterOrchestrator:
                 idx = build_idx[peering_id]
                 dist = build_dist[peering_id]
                 lat = build_lat[peering_id]
-                d0 = d0_arr[idx]
-                ob = ob_arr[idx]
-                # The candidate is closer than every kept accepted peering:
-                # the reuse window shrinks and kept entries may fall out, so
-                # those rows are recomputed exactly below.
-                shrink = (dist < d0) & np.isfinite(d0)
-                limit = np.where(dist < d0, dist, d0) + d_reuse
-                measurable = ~np.isnan(lat)
-                add = (dist <= limit) & measurable
-                new_cnt = ccnt_arr[idx] + add
-                new_sum = csum_arr[idx] + np.where(add, lat, 0.0)
-                new_p = new_sum / np.maximum(new_cnt, 1)
-                base = base_np[idx]
-                new_best = np.where(
-                    new_cnt > 0, np.minimum(base, new_p), ob
+                # The fused elementwise pipeline (reuse-window shrink test,
+                # kept-set mean update, best-latency improvement) runs on
+                # the compute backend; rows where the reuse window shrinks
+                # come back zeroed and are recomputed exactly below.  Every
+                # backend returns bit-identical elements (the kernels are
+                # reduction-free — see repro.kernels), so the contrib.sum()
+                # reduction below is the same float for all of them.
+                contrib, shrink = backend.refresh_contrib(
+                    dist,
+                    lat,
+                    build_vol[peering_id],
+                    d0_arr[idx],
+                    csum_arr[idx],
+                    ccnt_arr[idx],
+                    ob_arr[idx],
+                    base_np[idx],
+                    d_reuse,
                 )
-                contrib = build_vol[peering_id] * (ob - new_best)
-                if shrink.any():
-                    contrib[shrink] = 0.0
                 fast_queries.value += len(lat)
                 # Shrink rows get their exact scalar term scattered back
                 # into the contribution vector (rather than added to a
@@ -1214,7 +1305,9 @@ class PainterOrchestrator:
                 else:
                     fresh_evals += 1
                     lat = build_lat[pid]
-                    gain = np.fmax(base_np[build_idx[pid]] - lat, 0.0)
+                    # Elementwise gains on the backend; the vol @ gain dot
+                    # product (a reduction) stays on the host numpy path.
+                    gain = backend.initial_gains(base_np[build_idx[pid]], lat)
                     delta = float(build_vol[pid] @ gain)
                     fast_queries.value += len(lat)
                     for ug, row in learned_aff.get(pid, ()):

@@ -170,6 +170,16 @@ class RoutingModel:
         """UG-to-ingress great-circle distance (cached)."""
         return self._distance_km(ug, peering_id)
 
+    def clear_distance_caches(self) -> None:
+        """Drop the distance memos (pure haversines — recompute is exact).
+
+        The chunked dense-matrix fill calls this between chunks: at 100k
+        UGs the per-(UG, peering) memo alone would hold tens of millions
+        of dict entries that the dense distance matrix supersedes.
+        """
+        self._distance_cache.clear()
+        self._pop_distance_cache.clear()
+
     def has_learned_state(self, ug_id: int) -> bool:
         """Whether any observation refined this UG's uniform assumption.
 

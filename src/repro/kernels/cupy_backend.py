@@ -1,0 +1,95 @@
+"""GPU kernels via cupy (optional dependency, explicit opt-in).
+
+A faithful device-side transcription of the numpy reference expressions:
+every operation is an elementwise IEEE-754 double op, so each returned
+element is bit-identical to the reference (CUDA double arithmetic is
+IEEE-conformant and cupy's ufuncs do not contract into FMAs for these
+expressions).  Inputs are copied host→device per call and results back;
+that only pays off on very large worlds, which is why ``"auto"`` never
+selects cupy — pass ``backend="cupy"`` explicitly.
+
+All reductions still happen on the host over the returned arrays, exactly
+as with every other backend (see :mod:`repro.kernels.api`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.api import BackendUnavailable, ComputeBackend, register_backend
+
+try:  # pragma: no cover - exercised only where cupy + a device exist
+    import cupy
+
+    HAVE_CUPY = True
+except ImportError:  # pragma: no cover - CPU-only environments
+    cupy = None
+    HAVE_CUPY = False
+
+
+class CupyBackend(ComputeBackend):
+    """cupy-evaluated kernels with host↔device copies at the boundary."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        if not HAVE_CUPY:
+            raise BackendUnavailable("cupy is not installed")
+        super().__init__()
+
+    def warmup(self) -> None:  # pragma: no cover - needs a CUDA device
+        """Touch the device and compile both elementwise kernels.
+
+        Raises (→ recorded numpy fallback) when no CUDA runtime/device is
+        usable even though cupy imports.
+        """
+        cupy.cuda.runtime.getDeviceCount()
+        one = np.array([1.0])
+        zero = np.array([0.0])
+        self.initial_gains(one, one)
+        self.refresh_contrib(one, one, one, one, zero, zero, one, one, 1.0)
+
+    def initial_gains(
+        self, base: np.ndarray, lat: np.ndarray
+    ) -> np.ndarray:  # pragma: no cover - needs a CUDA device
+        b = cupy.asarray(base, dtype=cupy.float64)
+        l = cupy.asarray(lat, dtype=cupy.float64)
+        return cupy.asnumpy(cupy.fmax(b - l, 0.0))
+
+    def refresh_contrib(
+        self,
+        dist: np.ndarray,
+        lat: np.ndarray,
+        vol: np.ndarray,
+        d0: np.ndarray,
+        csum: np.ndarray,
+        ccnt: np.ndarray,
+        ob: np.ndarray,
+        base: np.ndarray,
+        d_reuse: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:  # pragma: no cover - needs a device
+        cp = cupy
+        dist_d = cp.asarray(dist, dtype=cp.float64)
+        lat_d = cp.asarray(lat, dtype=cp.float64)
+        vol_d = cp.asarray(vol, dtype=cp.float64)
+        d0_d = cp.asarray(d0, dtype=cp.float64)
+        csum_d = cp.asarray(csum, dtype=cp.float64)
+        ccnt_d = cp.asarray(ccnt, dtype=cp.float64)
+        ob_d = cp.asarray(ob, dtype=cp.float64)
+        base_d = cp.asarray(base, dtype=cp.float64)
+        shrink = (dist_d < d0_d) & cp.isfinite(d0_d)
+        limit = cp.where(dist_d < d0_d, dist_d, d0_d) + d_reuse
+        measurable = ~cp.isnan(lat_d)
+        add = (dist_d <= limit) & measurable
+        new_cnt = ccnt_d + add
+        new_sum = csum_d + cp.where(add, lat_d, 0.0)
+        new_p = new_sum / cp.maximum(new_cnt, 1)
+        new_best = cp.where(new_cnt > 0, cp.minimum(base_d, new_p), ob_d)
+        contrib = vol_d * (ob_d - new_best)
+        contrib = cp.where(shrink, 0.0, contrib)
+        return cp.asnumpy(contrib), cp.asnumpy(shrink)
+
+
+register_backend("cupy", CupyBackend, probe=lambda: HAVE_CUPY)

@@ -1,0 +1,166 @@
+"""JIT-compiled kernels via numba ``@njit`` (optional dependency).
+
+The jitted loops are scalar transcriptions of the numpy reference
+expressions in :mod:`repro.kernels.numpy_backend`, compiled with
+``fastmath=False`` so every operation is a plain IEEE-754 double op in the
+same order numpy's ufuncs apply it — no FMA contraction, no reassociation.
+That makes each output *element* bit-identical to the reference, and since
+all reductions stay on the host (see :mod:`repro.kernels.api`), whole
+solves are bit-identical too.
+
+Scalar-equivalence notes (each line mirrors a reference ufunc):
+
+* ``np.where(dist < d0, dist, d0)`` → ``di if di < d0i else d0i``;
+* ``np.maximum(new_cnt, 1)`` → ``new_cnt if new_cnt > 1.0 else 1.0``
+  (counts are non-negative integers stored as doubles, so the ``==``
+  tie returns ``1.0`` either way);
+* ``np.minimum(base, new_p)`` → ``bi if bi < new_p else new_p`` (neither
+  operand is NaN on this path: latencies fold through the measurability
+  mask before entering ``new_sum``);
+* ``np.fmax(base - lat, 0.0)`` → ``g if g > 0.0 else 0.0`` (a NaN gain
+  fails the comparison and yields the reference's ``0.0``).
+
+Importing this module with numba missing raises
+:class:`repro.kernels.api.BackendUnavailable` from the factory;
+compilation failures surface in :meth:`NumbaBackend.warmup` where
+``resolve_backend`` converts them into a recorded numpy fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.api import BackendUnavailable, ComputeBackend, register_backend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the CI numpy-only matrix leg
+    numba = None
+    HAVE_NUMBA = False
+
+_COMPILED = None
+
+
+def _compile():
+    """Build (once) and return the jitted kernel pair."""
+    global _COMPILED
+    if _COMPILED is not None:
+        return _COMPILED
+    if not HAVE_NUMBA:
+        raise BackendUnavailable("numba is not installed")
+
+    @numba.njit(cache=True, fastmath=False)
+    def initial_gains(base, lat):  # pragma: no cover - jitted
+        n = base.shape[0]
+        out = np.empty(n, dtype=np.float64)
+        for i in range(n):
+            g = base[i] - lat[i]
+            out[i] = g if g > 0.0 else 0.0
+        return out
+
+    @numba.njit(cache=True, fastmath=False)
+    def refresh_contrib(
+        dist, lat, vol, d0, csum, ccnt, ob, base, d_reuse
+    ):  # pragma: no cover - jitted
+        n = dist.shape[0]
+        contrib = np.empty(n, dtype=np.float64)
+        shrink = np.empty(n, dtype=np.bool_)
+        for i in range(n):
+            di = dist[i]
+            d0i = d0[i]
+            if di < d0i and np.isfinite(d0i):
+                # Reuse window shrinks: the caller recomputes this row
+                # exactly; the reference zeroes its contribution.
+                shrink[i] = True
+                contrib[i] = 0.0
+                continue
+            shrink[i] = False
+            limit = (di if di < d0i else d0i) + d_reuse
+            li = lat[i]
+            add = di <= limit and not np.isnan(li)
+            new_cnt = ccnt[i] + (1.0 if add else 0.0)
+            new_sum = csum[i] + (li if add else 0.0)
+            new_p = new_sum / (new_cnt if new_cnt > 1.0 else 1.0)
+            if new_cnt > 0.0:
+                bi = base[i]
+                new_best = bi if bi < new_p else new_p
+            else:
+                new_best = ob[i]
+            contrib[i] = vol[i] * (ob[i] - new_best)
+        return contrib, shrink
+
+    _COMPILED = (initial_gains, refresh_contrib)
+    return _COMPILED
+
+
+class NumbaBackend(ComputeBackend):
+    """``@njit``-compiled kernels over the same shared-memory arrays."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if not HAVE_NUMBA:
+            raise BackendUnavailable("numba is not installed")
+        super().__init__()
+        self._initial_gains = None
+        self._refresh_contrib = None
+
+    def warmup(self) -> None:
+        """Compile and exercise both kernels on tiny inputs.
+
+        Runs inside ``resolve_backend``'s ``kernels.compile_s`` timer; any
+        numba compilation or execution error propagates and becomes a
+        recorded numpy fallback.
+        """
+        initial_gains, refresh_contrib = _compile()
+        one = np.array([1.0])
+        zero = np.array([0.0])
+        initial_gains(one, one)
+        refresh_contrib(one, one, one, one, zero, zero, one, one, 1.0)
+        self._initial_gains = initial_gains
+        self._refresh_contrib = refresh_contrib
+
+    def _kernels(self):
+        if self._refresh_contrib is None:
+            self.warmup()
+        return self._initial_gains, self._refresh_contrib
+
+    def initial_gains(self, base: np.ndarray, lat: np.ndarray) -> np.ndarray:
+        kernel = self._kernels()[0]
+        return kernel(
+            np.ascontiguousarray(base, dtype=np.float64),
+            np.ascontiguousarray(lat, dtype=np.float64),
+        )
+
+    def refresh_contrib(
+        self,
+        dist: np.ndarray,
+        lat: np.ndarray,
+        vol: np.ndarray,
+        d0: np.ndarray,
+        csum: np.ndarray,
+        ccnt: np.ndarray,
+        ob: np.ndarray,
+        base: np.ndarray,
+        d_reuse: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        kernel = self._kernels()[1]
+        c = np.ascontiguousarray
+        return kernel(
+            c(dist, dtype=np.float64),
+            c(lat, dtype=np.float64),
+            c(vol, dtype=np.float64),
+            c(d0, dtype=np.float64),
+            c(csum, dtype=np.float64),
+            c(ccnt, dtype=np.float64),
+            c(ob, dtype=np.float64),
+            c(base, dtype=np.float64),
+            float(d_reuse),
+        )
+
+
+register_backend("numba", NumbaBackend, probe=lambda: HAVE_NUMBA)

@@ -136,6 +136,19 @@ class LatencyModel:
 
     # -- the oracle ----------------------------------------------------------
 
+    def clear_caches(self) -> None:
+        """Drop every memo dict (values are pure seeded functions).
+
+        Each memoized component is fully determined by its key (the RNG is
+        re-seeded per key via ``stable_rng``), so clearing never changes a
+        subsequently returned value — it only trades recompute time for
+        memory.  The 100k-UG dense-matrix fill trims these between chunks.
+        """
+        self._cache.clear()
+        self._last_mile_memo.clear()
+        self._inflation_memo.clear()
+        self._propagation_memo.clear()
+
     def latency_ms(self, ug: UserGroup, peering: Peering, day: int = 0) -> float:
         """True min-RTT from ``ug`` through ``peering``, on ``day``."""
         key = (ug.ug_id, peering.peering_id, day)

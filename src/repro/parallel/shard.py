@@ -19,9 +19,10 @@ here:
   worker results in worker-index order reproduces the serial array layout
   with no re-sorting;
 * the per-value math is the *same code* the serial path runs — the
-  deterministic latency/distance oracles, ``refresh_contrib`` below (a
-  verbatim transcription of the serial vector expression), and the shared
-  :class:`PrefixScan` — evaluated on the same IEEE doubles.
+  deterministic latency/distance oracles, the compute backend's
+  elementwise kernels (``repro.kernels``; workers inherit the evaluator's
+  backend at fork time, so a compiled solve is compiled in every shard),
+  and the shared :class:`PrefixScan` — evaluated on the same IEEE doubles.
 """
 
 from __future__ import annotations
@@ -31,6 +32,11 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+# Re-exported for backward compatibility: the canonical kernel now lives in
+# the numpy reference backend (every ComputeBackend reproduces it
+# bit-for-bit elementwise).
+from repro.kernels import ScanContext
+from repro.kernels.numpy_backend import refresh_contrib  # noqa: F401
 from repro.perf import PERF
 
 
@@ -47,37 +53,6 @@ def shard_ranges(n_rows: int, n_workers: int) -> List[Tuple[int, int]]:
         ranges.append((lo, hi))
         lo = hi
     return ranges
-
-
-def refresh_contrib(
-    dist: "np.ndarray",
-    lat: "np.ndarray",
-    vol: "np.ndarray",
-    d0: "np.ndarray",
-    csum: "np.ndarray",
-    ccnt: "np.ndarray",
-    ob: "np.ndarray",
-    base: "np.ndarray",
-    d_reuse: float,
-) -> Tuple["np.ndarray", "np.ndarray"]:
-    """The serial refresh-marginal vector expression, row-for-row.
-
-    Returns ``(contrib, shrink)``: per-row volume-weighted improvements
-    (zeroed where the reuse window shrinks) and the shrink mask whose rows
-    need the exact scalar recomputation.
-    """
-    shrink = (dist < d0) & np.isfinite(d0)
-    limit = np.where(dist < d0, dist, d0) + d_reuse
-    measurable = ~np.isnan(lat)
-    add = (dist <= limit) & measurable
-    new_cnt = ccnt + add
-    new_sum = csum + np.where(add, lat, 0.0)
-    new_p = new_sum / np.maximum(new_cnt, 1)
-    new_best = np.where(new_cnt > 0, np.minimum(base, new_p), ob)
-    contrib = vol * (ob - new_best)
-    if shrink.any():
-        contrib[shrink] = 0.0
-    return contrib, shrink
 
 
 class ShardContext:
@@ -103,6 +78,10 @@ class ShardContext:
         self.scenario = scenario
         self.evaluator = evaluator
         self.model = model
+        #: The evaluator's compute backend: forked workers inherit it (a
+        #: numba backend's compiled dispatchers survive ``fork``), so shard
+        #: kernels run on exactly the backend the serial path would use.
+        self.backend = evaluator.backend
         self.affected = affected
         self.ug_index = ug_index
         self.all_peering_ids: List[int] = sorted(affected)
@@ -283,15 +262,20 @@ class ShardState:
         self.ccnt_arr = np.zeros(n)
         self.ob_arr = base_np.copy()
         self.scan = ctx.evaluator.begin_prefix_scan(
-            learned_ug_ids=self._learned_frozen,
-            table_source=self._table_source,
+            ScanContext(
+                learned_ug_ids=self._learned_frozen,
+                table_source=self._table_source,
+            )
         )
         gains = ctx.gain_buf
+        backend = ctx.backend
         for pid in ctx.all_peering_ids:
             sel, lat, _dist, _vol = self.local[pid]
             start, count = self.spans[pid]
             if count:
-                gains[start : start + count] = np.fmax(base_np[sel] - lat, 0.0)
+                gains[start : start + count] = backend.initial_gains(
+                    base_np[sel], lat
+                )
             self._fast_queries.value += count
 
     def refresh(self, pids: Sequence[int]) -> List[Tuple["np.ndarray", list]]:
@@ -303,9 +287,10 @@ class ShardState:
         worker contribs and sums everything itself.
         """
         out = []
+        backend = self.ctx.backend
         for pid in pids:
             sel, lat, dist, vol = self.local[pid]
-            contrib, shrink = refresh_contrib(
+            contrib, shrink = backend.refresh_contrib(
                 dist,
                 lat,
                 vol,

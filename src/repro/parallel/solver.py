@@ -112,7 +112,7 @@ class ParallelSolver:
             self.pool.close()
         finally:
             if self._filled:
-                self._orch._evaluator.drop_latency_matrix()
+                self._orch._evaluator.backend.release_latency_matrix()
             # Release the shard context's views so the mappings can unmap.
             self._ctx.lat_mat = None
             self._ctx.dist_mat = None
@@ -144,8 +144,9 @@ class ParallelSolver:
         with PERF.timed("parallel.fill"):
             self.pool.broadcast("fill")
         # The parent's evaluator now reads the worker-computed doubles
-        # instead of re-deriving them serially.
-        self._orch._evaluator.adopt_latency_matrix(self._lat.array)
+        # instead of re-deriving them serially (bound on the compute
+        # backend, which owns the dense-matrix surface).
+        self._orch._evaluator.backend.bind_latency_matrix(self._lat.array)
         self._filled = True
 
     # -- the solve -----------------------------------------------------------

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 from repro.measurement.latency_model import LatencyModel, LatencyModelConfig
 from repro.routing.ground_truth import GroundTruthRouting
 from repro.topology.builder import Topology, TopologyConfig, build_topology
+from repro.topology.geo import WORLD_METROS, synthetic_metros
 from repro.usergroups.generation import UserGroupConfig, generate_user_groups
 from repro.usergroups.ingresses import IngressCatalog
 from repro.usergroups.usergroup import UserGroup
@@ -215,6 +216,43 @@ def _build_azure(seed: int, n_ugs: int) -> Scenario:
             regional_peering_prob=0.7,
         ),
         ug_config=UserGroupConfig(seed=seed + 1, n_ugs=n_ugs),
+    )
+
+
+#: PoP count of the ``mega`` preset; the metro pool is padded with synthetic
+#: metros so every PoP lands in a distinct metro.
+MEGA_N_POPS = 500
+
+
+def mega_scenario(seed: int = 0, n_ugs: int = 100_000) -> Scenario:
+    """Hyperscaler stress scale: 500 PoPs, ~22k neighbor ASes, 100k UGs.
+
+    This preset exists to exercise the dense-matrix memory-budget path and
+    the compiled compute backends at a scale where the per-UG dict layout
+    would not fit; ``big_as_presence_cap`` keeps the peering count (and thus
+    the dense matrix width) linear in the PoP count.
+    """
+    return _maybe_cached(("mega", seed, n_ugs), lambda: _build_mega(seed, n_ugs))
+
+
+def _build_mega(seed: int, n_ugs: int) -> Scenario:
+    metros = WORLD_METROS + synthetic_metros(MEGA_N_POPS - len(WORLD_METROS), seed=seed)
+    return build_scenario(
+        name="mega",
+        topology_config=TopologyConfig(
+            seed=seed,
+            n_pops=MEGA_N_POPS,
+            n_tier1=8,
+            n_transit=24,
+            n_regional=2000,
+            n_stub=20000,
+            transit_provider_fraction=0.25,
+            regional_peering_prob=0.5,
+            stub_peering_prob=0.01,
+            metros=metros,
+            big_as_presence_cap=24,
+        ),
+        ug_config=UserGroupConfig(seed=seed + 1, n_ugs=n_ugs, metros=metros),
     )
 
 

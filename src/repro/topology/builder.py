@@ -48,16 +48,36 @@ class TopologyConfig:
     stub_peering_prob: float = 0.03
     #: Mean number of providers per stub AS (multihoming degree).
     stub_multihoming_mean: float = 1.8
+    #: Metro pool for PoP placement and AS home metros.  ``None`` means
+    #: :data:`WORLD_METROS`; huge presets (``mega``) pass an extended pool so
+    #: ``n_pops`` can exceed the curated world-metro count.
+    metros: Optional[Tuple[Metro, ...]] = None
+    #: Cap on how many PoPs one tier1/transit AS peers at.  ``None`` keeps
+    #: the historical behaviour (presence up to ``n_pops``); large presets
+    #: cap it so peering count grows linearly, not quadratically, with PoPs.
+    #: Applied after the presence draw, so it never shifts the RNG stream.
+    big_as_presence_cap: Optional[int] = None
 
     def __post_init__(self) -> None:
+        pool = self.metro_pool()
         if self.n_pops < 2:
             raise ValueError("need at least 2 PoPs")
-        if self.n_pops > len(WORLD_METROS):
-            raise ValueError(f"at most {len(WORLD_METROS)} PoPs supported")
+        if self.n_pops > len(pool):
+            raise ValueError(f"at most {len(pool)} PoPs supported by the metro pool")
+        if len({metro.name for metro in pool}) != len(pool):
+            # The builder memoizes geometry by metro name; duplicates would
+            # silently alias distinct locations.
+            raise ValueError("metro pool contains duplicate metro names")
         if self.n_tier1 < 1 or self.n_transit < 1:
             raise ValueError("need at least one tier1 and one transit AS")
         if not 0.0 <= self.transit_provider_fraction <= 1.0:
             raise ValueError("transit_provider_fraction must be in [0,1]")
+        if self.big_as_presence_cap is not None and self.big_as_presence_cap < 2:
+            raise ValueError("big_as_presence_cap must be >= 2")
+
+    def metro_pool(self) -> Tuple[Metro, ...]:
+        """The metro pool this topology draws from."""
+        return self.metros if self.metros is not None else WORLD_METROS
 
 
 @dataclass
@@ -81,9 +101,16 @@ class Topology:
         return self.stub_asns + self.regional_asns
 
 
-def _spread_metros(rng: random.Random, count: int) -> List[Metro]:
+def _spread_metros(
+    rng: random.Random, count: int, pool: Sequence[Metro] = WORLD_METROS
+) -> List[Metro]:
     """Pick ``count`` metros maximizing geographic spread (greedy k-center)."""
-    metros = list(WORLD_METROS)
+    metros = list(pool)
+    if count == len(metros):
+        # Whole pool requested: the greedy selection would return every metro
+        # anyway, so skip it (and its rng.choice) — the mega preset uses all
+        # 500 metros and the O(n^2) k-center would dominate build time.
+        return metros
     chosen = [rng.choice(metros)]
     remaining = [m for m in metros if m is not chosen[0]]
     while len(chosen) < count and remaining:
@@ -100,9 +127,24 @@ def build_topology(config: Optional[TopologyConfig] = None) -> Topology:
     """Generate a reproducible synthetic topology from ``config``."""
     config = config or TopologyConfig()
     rng = random.Random(config.seed)
+    pool = list(config.metro_pool())
 
     graph = ASGraph()
     deployment = CloudDeployment(name="synthetic-cloud")
+
+    # Geometry memos, keyed by metro name (validated unique).  At mega scale
+    # (500 metros, 22k ASes) the naive per-AS haversine scans are O(n^2) in
+    # the AS count; distinct metro pairs are not.  None of these touch the
+    # seeded RNG stream, so memoization cannot perturb generated worlds.
+    _pair_dist: Dict[Tuple[str, str], float] = {}
+
+    def mdist(a: Metro, b: Metro) -> float:
+        key = (a.name, b.name) if a.name <= b.name else (b.name, a.name)
+        value = _pair_dist.get(key)
+        if value is None:
+            value = haversine_km(a.location, b.location)
+            _pair_dist[key] = value
+        return value
 
     cloud = AutonomousSystem(asn=CLOUD_ASN, role=ASRole.CLOUD, name="cloud")
     graph.add_as(cloud)
@@ -119,7 +161,7 @@ def build_topology(config: Optional[TopologyConfig] = None) -> Topology:
         return asys
 
     # -- PoPs ---------------------------------------------------------------
-    pop_metros = _spread_metros(rng, config.n_pops)
+    pop_metros = _spread_metros(rng, config.n_pops, pool)
     pops = [deployment.add_pop(f"pop-{metro.name}", metro) for metro in pop_metros]
 
     # -- Tier-1 mesh ----------------------------------------------------------
@@ -145,7 +187,7 @@ def build_topology(config: Optional[TopologyConfig] = None) -> Topology:
 
     # -- Regional ISPs ----------------------------------------------------------
     regionals = [
-        make_as(ASRole.REGIONAL, "rg-", rng.choice(list(WORLD_METROS)))
+        make_as(ASRole.REGIONAL, "rg-", rng.choice(pool))
         for _ in range(config.n_regional)
     ]
     for reg in regionals:
@@ -156,7 +198,7 @@ def build_topology(config: Optional[TopologyConfig] = None) -> Topology:
         assert reg.home_metro is not None
         upstream_pool = sorted(
             transits + tier1,
-            key=lambda a: haversine_km(a.home_metro.location, reg.home_metro.location),
+            key=lambda a: mdist(a.home_metro, reg.home_metro),
         )[:4]
         k = 1 if rng.random() < 0.6 else 2
         for provider in rng.sample(upstream_pool, k=min(k, len(upstream_pool))):
@@ -172,15 +214,31 @@ def build_topology(config: Optional[TopologyConfig] = None) -> Topology:
             if other.asn >= reg.asn:
                 continue
             assert other.home_metro is not None
-            close = haversine_km(other.home_metro.location, reg.home_metro.location) < 2000
+            close = mdist(other.home_metro, reg.home_metro) < 2000
             if close and rng.random() < 0.25 and graph.relationship(other.asn, reg.asn) is None:
                 graph.add_peering_link(other.asn, reg.asn)
 
     # -- Stub / enterprise ASes ---------------------------------------------
     stubs = [
-        make_as(ASRole.STUB, "st-", rng.choice(list(WORLD_METROS)))
+        make_as(ASRole.STUB, "st-", rng.choice(pool))
         for _ in range(config.n_stub)
     ]
+
+    # Stubs sharing a home metro see the same nearby-regional candidates, so
+    # compute each metro's sorted list once (20k stubs x 2k regionals would
+    # otherwise be 40M haversine calls at mega scale).
+    _nearby_regionals: Dict[str, List[AutonomousSystem]] = {}
+
+    def nearby_regionals_of(home: Metro) -> List[AutonomousSystem]:
+        cached = _nearby_regionals.get(home.name)
+        if cached is None:
+            cached = sorted(
+                (r for r in regionals if mdist(r.home_metro, home) <= 3000.0),
+                key=lambda r: mdist(r.home_metro, home),
+            )[:8]
+            _nearby_regionals[home.name] = cached
+        return cached
+
     for stub in stubs:
         # Prefer nearby regional ISPs as providers; fall back to transit.
         assert stub.home_metro is not None
@@ -188,14 +246,7 @@ def build_topology(config: Optional[TopologyConfig] = None) -> Topology:
         # within reach they go straight to a transit provider.  (Without the
         # distance cap, stubs in sparse regions would buy from ISPs half a
         # world away and anycast would land them at absurd PoPs.)
-        nearby = sorted(
-            (
-                r
-                for r in regionals
-                if haversine_km(r.home_metro.location, stub.home_metro.location) <= 3000.0
-            ),
-            key=lambda r: haversine_km(r.home_metro.location, stub.home_metro.location),
-        )[:8]
+        nearby = nearby_regionals_of(stub.home_metro)
         n_providers = max(1, min(4, int(rng.expovariate(1.0 / config.stub_multihoming_mean)) + 1))
         providers: List[AutonomousSystem] = []
         pool = nearby + transits
@@ -218,6 +269,10 @@ def build_topology(config: Optional[TopologyConfig] = None) -> Topology:
     for asys in big:
         rel = Relationship.PROVIDER if asys.asn in provider_set else Relationship.PEER
         presence = rng.randint(max(2, config.n_pops // 2), config.n_pops)
+        if config.big_as_presence_cap is not None:
+            # Cap AFTER the draw: the RNG stream (and thus every downstream
+            # choice) is identical whether or not a cap is configured.
+            presence = min(presence, config.big_as_presence_cap)
         for pop in rng.sample(pops, k=presence):
             deployment.add_peering(pop, asys.asn, rel)
         if rel is Relationship.PROVIDER:
@@ -225,12 +280,23 @@ def build_topology(config: Optional[TopologyConfig] = None) -> Topology:
         elif graph.relationship(CLOUD_ASN, asys.asn) is None:
             graph.add_peering_link(CLOUD_ASN, asys.asn)
 
+    # Nearest-PoP lookups repeat per home metro; memoize them (the PoP set is
+    # frozen by this point, and nearest_pop is a pure geometric scan).
+    _nearest_pop: Dict[str, PoP] = {}
+
+    def nearest_pop_of(home: Metro) -> PoP:
+        cached = _nearest_pop.get(home.name)
+        if cached is None:
+            cached = deployment.nearest_pop(home.location)
+            _nearest_pop[home.name] = cached
+        return cached
+
     # Regional ISPs: mostly single-PoP peers near home.
     for reg in regionals:
         if rng.random() >= config.regional_peering_prob:
             continue
         assert reg.home_metro is not None
-        nearest = deployment.nearest_pop(reg.home_metro.location)
+        nearest = nearest_pop_of(reg.home_metro)
         try:
             deployment.add_peering(nearest, reg.asn, Relationship.PEER)
         except ValueError:
@@ -243,7 +309,7 @@ def build_topology(config: Optional[TopologyConfig] = None) -> Topology:
         if rng.random() >= config.stub_peering_prob:
             continue
         assert stub.home_metro is not None
-        nearest = deployment.nearest_pop(stub.home_metro.location)
+        nearest = nearest_pop_of(stub.home_metro)
         try:
             deployment.add_peering(nearest, stub.asn, Relationship.PEER)
         except ValueError:

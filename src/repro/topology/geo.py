@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.util import stable_rng
+
 EARTH_RADIUS_KM = 6371.0
 
 #: Speed of light in vacuum, km per millisecond.
@@ -172,6 +174,32 @@ WORLD_METROS: Tuple[Metro, ...] = (
 )
 
 _METRO_INDEX = {metro.name: metro for metro in WORLD_METROS}
+
+#: Latitude band for synthetic metros: roughly Punta Arenas to Reykjavik,
+#: keeping generated cities out of the poles where no eyeballs live.
+_SYNTH_LAT_RANGE = (-55.0, 65.0)
+
+
+def synthetic_metros(count: int, seed: int = 0) -> Tuple[Metro, ...]:
+    """Deterministic pseudo-random metro pool extending :data:`WORLD_METROS`.
+
+    The ``mega`` preset needs far more distinct metros than the hand-curated
+    world list provides (one per PoP plus headroom for AS home metros).  The
+    generated metros are uniformly spread over the inhabited latitude band
+    and grouped into six longitude-band regions (``syn-0`` .. ``syn-5``).
+    Names never collide with the curated list (``syn-`` prefix), which
+    matters because the topology builder memoizes by metro name.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = stable_rng("synthetic-metros", seed)
+    metros: List[Metro] = []
+    for i in range(count):
+        lat = rng.uniform(*_SYNTH_LAT_RANGE)
+        lon = rng.uniform(-180.0, 180.0)
+        region = f"syn-{int((lon + 180.0) // 60.0) % 6}"
+        metros.append(Metro(name=f"syn-{i:03d}", location=GeoPoint(lat, lon), region=region))
+    return tuple(metros)
 
 
 def metro_by_name(name: str) -> Metro:

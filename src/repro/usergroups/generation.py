@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.topology.builder import Topology
 from repro.topology.geo import WORLD_METROS, Metro, haversine_km
@@ -29,6 +29,9 @@ class UserGroupConfig:
     metro_spread_km: float = 2500.0
     #: Probability a UG lands in its AS's home metro exactly.
     home_metro_prob: float = 0.6
+    #: Metro pool UGs may land in.  ``None`` means :data:`WORLD_METROS`;
+    #: presets with an extended topology pool pass the same pool here.
+    metros: Optional[Tuple[Metro, ...]] = None
 
     def __post_init__(self) -> None:
         if self.n_ugs < 1:
@@ -60,6 +63,11 @@ def generate_user_groups(
     weights = zipf_weights(config.n_ugs, config.zipf_exponent)
     rng.shuffle(weights)  # volume rank should not correlate with creation order
 
+    pool: Sequence[Metro] = config.metros if config.metros is not None else WORLD_METROS
+    # ASes sharing a home metro share a nearby-metro list; memoize it so the
+    # placement loop stays O(attempts), not O(attempts x pool).
+    nearby_memo: Dict[str, List[Metro]] = {}
+
     ugs: List[UserGroup] = []
     seen_keys = set()
     attempts = 0
@@ -68,7 +76,7 @@ def generate_user_groups(
         asn = rng.choice(edge_asns)
         home = topology.graph.get_as(asn).home_metro
         assert home is not None
-        metro = _pick_metro(rng, home, config)
+        metro = _pick_metro(rng, home, config, pool, nearby_memo)
         key = (asn, metro.name)
         if key in seen_keys:
             continue
@@ -89,14 +97,23 @@ def generate_user_groups(
     return ugs
 
 
-def _pick_metro(rng: random.Random, home: Metro, config: UserGroupConfig) -> Metro:
+def _pick_metro(
+    rng: random.Random,
+    home: Metro,
+    config: UserGroupConfig,
+    pool: Sequence[Metro],
+    nearby_memo: Dict[str, List[Metro]],
+) -> Metro:
     if rng.random() < config.home_metro_prob:
         return home
-    nearby = [
-        metro
-        for metro in WORLD_METROS
-        if haversine_km(metro.location, home.location) <= config.metro_spread_km
-    ]
+    nearby = nearby_memo.get(home.name)
+    if nearby is None:
+        nearby = [
+            metro
+            for metro in pool
+            if haversine_km(metro.location, home.location) <= config.metro_spread_km
+        ]
+        nearby_memo[home.name] = nearby
     return rng.choice(nearby) if nearby else home
 
 
