@@ -20,10 +20,14 @@ def pytest_collection_modifyitems(items) -> None:
     """Everything under benchmarks/ belongs to the ``bench`` tier.
 
     Tier-1 deselects it via the addopts marker filter; CI's benchmark job
-    opts back in with ``-m bench``.
+    opts back in with ``-m bench``.  Soak benchmarks additionally carry
+    the ``soak`` marker so the soak-smoke CI job can select just the
+    throughput gate with ``-m 'bench and soak'``.
     """
     for item in items:
         item.add_marker(pytest.mark.bench)
+        if "soak" in item.nodeid.rpartition("/")[2]:
+            item.add_marker(pytest.mark.soak)
 
 
 @pytest.fixture(scope="session")

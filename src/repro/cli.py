@@ -13,6 +13,9 @@ Commands:
   Traffic Manager data plane and report per-step steering throughput;
 * ``controller`` — run the continuous-operation controller daemon over a
   delta stream with crash-safe checkpointing and warm-start re-solve;
+* ``soak``     — run a simulated day of diurnal load, flash crowds, and
+  rolling regional outages through the composed system (controller +
+  vector data plane) with per-UG SLO accounting (``repro.soak``);
 * ``optimality`` — measure Algorithm 1's greedy-vs-ILP benefit gap with
   LP-bound soundness checks (``repro.optimality``);
 * ``trace``    — render the per-phase time/benefit breakdown of a JSONL run
@@ -331,6 +334,87 @@ def cmd_controller(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_soak(args: argparse.Namespace) -> int:
+    """Run (or resume) a soak over a simulated day with SLO accounting."""
+    from repro.soak import SoakConfig, run_soak
+
+    cfg = SoakConfig(
+        preset=args.preset,
+        seed=args.seed,
+        windows=args.windows,
+        window_s=args.day / args.windows,
+        arrivals_per_window=args.arrivals,
+        flow_lifetime_windows=args.flow_lifetime,
+        prefix_budget=args.budget,
+        plane=args.plane,
+        shifts_per_window=args.shifts,
+        storm_regions=args.storm_regions,
+        flash_crowds=args.flash_crowds,
+        admit_cap=args.admit_cap,
+        failover_budget=args.failover_budget,
+        verify_every=args.verify_every,
+        observe=args.observe,
+        prom_path=args.prom,
+        crash_at=args.crash_at,
+        crash_point=args.crash_point,
+        stop_after=args.stop_after,
+    )
+    result = run_soak(cfg, args.checkpoint_dir)
+    if result.controller.resumed_from is not None:
+        print(f"resumed from checkpoint {result.controller.resumed_from}")
+    for row in result.ledger.window_rows:
+        print(
+            f"window {row['window']}: offered {row['offered']:,}, "
+            f"served {row['served']:,}, unroutable {row['unroutable']:,}, "
+            f"shed {row['shed']:,}, down UGs {row['down_ugs']}, "
+            f"remaps {row['remaps']}"
+        )
+    summary = result.summary()
+    p99 = summary["fleet_p99_ms"]
+    print(
+        f"{summary['windows']} windows over a {cfg.day_s:g}s simulated day: "
+        f"{summary['offered']:,} flows offered, "
+        f"fleet p99 {'n/a' if p99 is None else f'{p99:.1f} ms'}, "
+        f"{summary['total_downtime_s']:g}s UG-downtime, "
+        f"{summary['switches']} destination switches "
+        f"({summary['budget_violations']} over budget)"
+    )
+    print(
+        f"data plane ({cfg.plane}): {result.flows_per_s:,.0f} flows/s, "
+        f"{result.flows_moved:,} flows failed over"
+    )
+    print(f"ledger fingerprint {result.ledger.fingerprint()}")
+    if args.slo_out:
+        result.write_slo_report(args.slo_out)
+        print(f"wrote SLO report to {args.slo_out}")
+    if args.report:
+        from pathlib import Path
+
+        from repro.experiments.harness import ExperimentResult
+        from repro.reporting import result_to_markdown, soak_summary
+
+        table = ExperimentResult(
+            experiment_id="soak",
+            title="Soak: simulated day with diurnal load, storms, SLO accounting",
+            columns=[
+                "window", "offered", "served", "unroutable", "shed",
+                "down_ugs", "switches", "remaps", "accounting_errors",
+            ],
+        )
+        for row in result.ledger.window_rows:
+            table.add_row(*(row[str(c)] for c in table.columns))
+        for note in result.notes:
+            table.add_note(note)
+        markdown = result_to_markdown(table) + "\n" + soak_summary(table)
+        Path(args.report).write_text(markdown)
+        print(f"wrote soak report to {args.report}")
+    errors = summary["accounting_errors"]
+    if errors:
+        print(f"SLO ACCOUNTING ERRORS: {errors}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_optimality(args: argparse.Namespace) -> int:
     """Greedy-vs-ILP optimality gap and LP-bound soundness check."""
     from repro.experiments.optimality import run_greedy_gap
@@ -572,6 +656,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="where in the iteration the injected crash fires",
     )
     controller.set_defaults(func=cmd_controller)
+
+    soak = sub.add_parser(
+        "soak",
+        help="run a simulated day of diurnal load + storms through the "
+        "composed system with per-UG SLO accounting",
+    )
+    soak.add_argument(
+        "--preset", choices=sorted(_PRESETS), default="tiny",
+        help="scenario preset (default: tiny)",
+    )
+    soak.add_argument("--seed", type=int, default=0, help="world + load seed")
+    soak.add_argument(
+        "--windows", type=int, default=24,
+        help="simulated windows (= controller iterations)",
+    )
+    soak.add_argument(
+        "--day", type=float, default=86_400.0,
+        help="simulated day length in seconds (split across windows)",
+    )
+    soak.add_argument(
+        "--arrivals", type=int, default=10_000,
+        help="base new-flow arrivals per window (diurnally scaled)",
+    )
+    soak.add_argument(
+        "--flow-lifetime", type=int, default=2,
+        help="windows a flow lives before ending (0 = never)",
+    )
+    soak.add_argument("--budget", type=int, default=4, help="prefix budget")
+    soak.add_argument(
+        "--plane", choices=("vector", "scalar"), default="vector",
+        help="data-plane implementation (default: vector)",
+    )
+    soak.add_argument(
+        "--shifts", type=int, default=8,
+        help="top-mover VolumeShifts per window boundary",
+    )
+    soak.add_argument(
+        "--storm-regions", type=int, default=1,
+        help="regions hit by the rolling outage storm (0 = calm)",
+    )
+    soak.add_argument(
+        "--flash-crowds", type=int, default=1, help="flash-crowd events"
+    )
+    soak.add_argument(
+        "--admit-cap", type=int, default=None,
+        help="per-window admission cap; overflow is shed",
+    )
+    soak.add_argument(
+        "--failover-budget", type=int, default=8,
+        help="destination switches per UG the SLO budget allows",
+    )
+    soak.add_argument(
+        "--verify-every", type=int, default=0,
+        help="cold-verify the warm solver every N iterations (0 = never)",
+    )
+    soak.add_argument(
+        "--observe", action="store_true",
+        help="run the orchestrator's measurement round each iteration",
+    )
+    soak.add_argument(
+        "--checkpoint-dir", required=True,
+        help="checkpoint directory (an existing checkpoint resumes the soak)",
+    )
+    soak.add_argument(
+        "--slo-out", type=str, default=None,
+        help="write the SLO ledger + digest JSON here",
+    )
+    soak.add_argument(
+        "--report", type=str, default=None,
+        help="write a Markdown SLO report here",
+    )
+    soak.add_argument(
+        "--prom", type=str, default=None,
+        help="write the Prometheus metrics textfile here every window",
+    )
+    soak.add_argument(
+        "--stop-after", type=int, default=None,
+        help="stop after N iterations (resume later from the checkpoint)",
+    )
+    soak.add_argument(
+        "--crash-at", type=int, default=None,
+        help="crash injection: SIGKILL self at this iteration (testing)",
+    )
+    soak.add_argument(
+        "--crash-point", default="before_checkpoint",
+        choices=("mid_journal", "before_checkpoint", "after_checkpoint"),
+        help="where in the iteration the injected crash fires",
+    )
+    soak.set_defaults(func=cmd_soak)
 
     optimality = sub.add_parser(
         "optimality",

@@ -37,6 +37,7 @@ from repro.controller.checkpoint import (
 from repro.controller.daemon import (
     ControllerConfig,
     ControllerError,
+    ControllerExtension,
     ControllerResult,
     IterationTimeout,
     PainterController,
@@ -65,6 +66,7 @@ __all__ = [
     "CheckpointStore",
     "ControllerConfig",
     "ControllerError",
+    "ControllerExtension",
     "ControllerResult",
     "Delta",
     "DeltaError",

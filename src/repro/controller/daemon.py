@@ -75,6 +75,37 @@ class ControllerError(RuntimeError):
     """The loop cannot make progress (no solution and nothing to fall back to)."""
 
 
+class ControllerExtension:
+    """A deterministic co-processor riding the controller's iteration cycle.
+
+    An extension observes every completed iteration (after the config is
+    installed, before the iteration is persisted) and contributes its own
+    resume state to the controller's checkpoint, so whatever it accumulates
+    — a data plane, an SLO ledger, a simulation clock — survives a SIGKILL
+    with the same byte-identical-resume guarantee the controller itself
+    gives.  The contract the crash-recovery suite relies on:
+
+    * :meth:`after_iteration` must be a pure function of the controller's
+      deterministic state (iteration number, config, applied deltas) —
+      wall-clock reads may feed metrics, but never journal events or
+      snapshot payloads;
+    * :meth:`snapshot` returns a JSON-ready dict capturing everything
+      needed to resume, and :meth:`restore` is its exact inverse.
+    """
+
+    def after_iteration(
+        self, iteration: int, config: AdvertisementConfig, controller: "PainterController"
+    ) -> None:
+        """Called once per iteration, after apply and before persist."""
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready resume state, stored inside the controller checkpoint."""
+        return {}
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        """Inverse of :meth:`snapshot`, called before the loop resumes."""
+
+
 class IterationTimeout(RuntimeError):
     """The watchdog cut off a hung iteration."""
 
@@ -197,9 +228,11 @@ class PainterController:
         orchestrator_config: OrchestratorConfig,
         controller_config: ControllerConfig,
         deltas: Sequence[Delta] = (),
+        extension: Optional[ControllerExtension] = None,
     ) -> None:
         self._scenario = scenario
         self._cfg = controller_config
+        self._extension = extension
         self._orch = PainterOrchestrator(scenario, orchestrator_config)
         self._groups = group_deltas(deltas)
         self._store = CheckpointStore(
@@ -219,6 +252,15 @@ class PainterController:
     def orchestrator(self) -> PainterOrchestrator:
         return self._orch
 
+    @property
+    def scenario(self):
+        return self._scenario
+
+    @property
+    def journal(self) -> Optional[DurableJournal]:
+        """The live durable journal (None outside :meth:`run`)."""
+        return self._journal
+
     def close(self) -> None:
         if self._journal is not None:
             try:
@@ -236,7 +278,11 @@ class PainterController:
     # -- state (de)hydration -------------------------------------------------
 
     def _snapshot_payload(self, iteration: int, cursor: int, journal_seq: int):
+        extension = (
+            self._extension.snapshot() if self._extension is not None else None
+        )
         return {
+            "extension": extension,
             "iteration": iteration,
             "cursor": cursor,
             "journal_seq": journal_seq,
@@ -281,6 +327,9 @@ class PainterController:
         self._divergences = int(counters.get("divergences", 0))
         self._deltas_applied = int(counters.get("deltas_applied", 0))
         self._staleness = int(counters.get("staleness", 0))
+        extension = payload.get("extension")
+        if self._extension is not None and extension is not None:
+            self._extension.restore(extension)
 
     # -- delta application ----------------------------------------------------
 
@@ -506,6 +555,8 @@ class PainterController:
             if cfg.observe:
                 orch.execute_and_observe(config, iteration=iteration)
             self._last_good = config
+        if self._extension is not None:
+            self._extension.after_iteration(iteration, config, self)
         realized = realized_benefit(self._scenario, config)
         journal.event(
             "controller_iteration",

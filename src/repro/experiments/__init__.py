@@ -27,6 +27,7 @@ from repro.experiments.replay import (
     run_replay,
     run_traffic_replay,
 )
+from repro.experiments.soak import run_soak_experiment
 
 ALL_EXPERIMENTS = {
     "chaos": run_chaos,
@@ -48,6 +49,7 @@ ALL_EXPERIMENTS = {
     "fig15b": run_fig15b,
     "optimality": run_greedy_gap,
     "replay": run_replay,
+    "soak": run_soak_experiment,
     "ext_congestion": run_ext_congestion,
     "ext_egress": run_ext_egress,
     "ext_failover_sweep": run_ext_failover_sweep,
@@ -90,4 +92,5 @@ __all__ = [
     "run_fig8",
     "run_fig9a",
     "run_fig9b",
+    "run_soak_experiment",
 ]

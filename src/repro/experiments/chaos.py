@@ -133,6 +133,98 @@ class ChaosHarness:
     def run(self) -> List[StormOutcome]:
         return [self.run_storm(storm) for storm in range(self._config.storms)]
 
+    # -- driving the controller daemon (ROADMAP 1 follow-on) -----------------
+
+    def controller_storm(self, scenario, storm: int) -> FaultSchedule:
+        """A seeded storm over the *scenario's own* PoPs.
+
+        :meth:`make_storm` storms the synthetic Fig. 10 paths;
+        this variant targets the deployment the controller actually
+        manages, so its outages translate into :class:`PopDown` /
+        :class:`PopUp` deltas the daemon can ingest.  Deterministic given
+        ``cfg.seed + storm``, exactly like :meth:`make_storm`.
+        """
+        cfg = self._config
+        pop_names = sorted(p.name for p in scenario.deployment.pops)
+        return FaultSchedule.random_storm(
+            pop_names=pop_names,
+            duration_s=cfg.duration_s * 0.85,
+            seed=cfg.seed + storm,
+            intensity=cfg.intensity,
+        )
+
+    def controller_deltas(self, scenario, storm: int) -> list:
+        """The storm as controller deltas, safe to feed the daemon.
+
+        Translates :meth:`controller_storm` through
+        :func:`repro.controller.deltas_from_fault_schedule`, then applies
+        the same guard :func:`repro.controller.synthetic_deltas` uses:
+        a :class:`PopDown` that would darken the last healthy PoP is
+        dropped (deterministically — by stream order), along with its
+        paired :class:`PopUp`, because an all-dark deployment has no
+        candidate peerings for Algorithm 1 to advertise from.
+        """
+        from repro.controller import PopDown, PopUp, deltas_from_fault_schedule
+
+        schedule = self.controller_storm(scenario, storm)
+        deltas = deltas_from_fault_schedule(schedule)
+        total = {p.name for p in scenario.deployment.pops}
+        down: set = set()
+        skipped: set = set()
+        filtered = []
+        for delta in deltas:
+            if isinstance(delta, PopDown):
+                if delta.pop_name in down:
+                    continue  # already dark; a second Down is a no-op
+                if len(down) + 1 >= len(total):
+                    skipped.add(delta.pop_name)
+                    continue  # never darken the last healthy PoP
+                down.add(delta.pop_name)
+            elif isinstance(delta, PopUp):
+                if delta.pop_name in skipped:
+                    skipped.discard(delta.pop_name)
+                    continue  # its Down was dropped; drop the heal too
+                down.discard(delta.pop_name)
+            filtered.append(delta)
+        return filtered
+
+    def drive_controller(
+        self,
+        scenario,
+        storm: int,
+        checkpoint_dir,
+        *,
+        prefix_budget: int = 4,
+        deltas=None,
+        observe: bool = False,
+    ):
+        """Run the controller daemon under this storm's weather.
+
+        ``deltas`` overrides the storm-derived stream (the regression
+        suite hand-feeds an identical list and asserts the installs
+        match).  Imports are lazy — :mod:`repro.controller` pulls
+        :mod:`repro.io` which needs this package's harness.
+        """
+        from repro.controller import ControllerConfig, PainterController
+        from repro.core.orchestrator import OrchestratorConfig
+
+        if deltas is None:
+            deltas = self.controller_deltas(scenario, storm)
+        controller = PainterController(
+            scenario,
+            OrchestratorConfig(prefix_budget=prefix_budget),
+            ControllerConfig(
+                checkpoint_dir=checkpoint_dir,
+                observe=observe,
+                run_name=f"chaos-storm-{storm}",
+            ),
+            deltas,
+        )
+        try:
+            return controller.run()
+        finally:
+            controller.close()
+
     # -- per-strategy metrics ------------------------------------------------
 
     def _painter_inflation_ms(self, result: FailoverResult) -> float:

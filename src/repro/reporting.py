@@ -106,9 +106,46 @@ def run_and_report(
     for result in results:
         if result.experiment_id == "optimality":
             report = report + "\n" + optimality_summary(result)
+        elif result.experiment_id == "soak":
+            report = report + "\n" + soak_summary(result)
     if include_perf:
         report = report + "\n" + PERF.to_markdown()
     return report
+
+
+def soak_summary(result: ExperimentResult) -> str:
+    """Digest of a soak run's SLO table: availability and accounting.
+
+    Rendered after the per-window table so the operational story — did
+    the composed system keep serving through the storm, and did every
+    flow get accounted for — is readable without scanning rows.
+    """
+    offered = [int(v) for v in result.column("offered")]
+    served = [int(v) for v in result.column("served")]
+    unroutable = [int(v) for v in result.column("unroutable")]
+    shed = [int(v) for v in result.column("shed")]
+    errors = [int(v) for v in result.column("accounting_errors")]
+    down = [int(v) for v in result.column("down_ugs")]
+    lines = ["## Soak SLO digest", ""]
+    if offered:
+        lines.append(
+            f"Over {len(offered)} simulated windows the data plane was "
+            f"offered {sum(offered):,} flows and served {sum(served):,} "
+            f"({sum(unroutable):,} unroutable during outages, "
+            f"{sum(shed):,} shed by the admit cap)."
+        )
+        lines.append("")
+        stormy = sum(1 for d in down if d > 0)
+        lines.append(
+            f"{stormy} window(s) had user groups down (peak "
+            f"{max(down)} UGs at once); flow accounting closed with "
+            f"{sum(errors)} errors (the gate requires zero)."
+        )
+    for note in result.notes:
+        lines.append("")
+        lines.append(f"> {note}")
+    lines.append("")
+    return "\n".join(lines)
 
 
 def optimality_summary(result: ExperimentResult) -> str:

@@ -1,0 +1,48 @@
+"""Sustained soak runs: diurnal load + storms + SLO accounting (ROADMAP 5).
+
+The first place every subsystem runs composed: the
+:class:`~repro.controller.PainterController` daemon re-solves online
+under a merged stream of diurnal :class:`VolumeShift` deltas and rolling
+regional PoP outages, while a :class:`SoakDriver` extension steers the
+window's flow batches through the vectorized Traffic Manager data plane
+and scores every user group in an :class:`SLOLedger` — p99 latency,
+downtime seconds, failover-budget spend, and zero-tolerance flow
+accounting.  See :mod:`repro.soak.runner` for the determinism contract.
+"""
+
+from repro.soak.load import DiurnalLoad, FlashCrowd
+from repro.soak.runner import (
+    SOAK_SNAPSHOT_VERSION,
+    SoakConfig,
+    SoakDriver,
+    SoakError,
+    SoakResult,
+    build_soak_deltas,
+    make_load,
+    regional_storm,
+    run_soak,
+)
+from repro.soak.slo import (
+    DEFAULT_BUCKET_EDGES_MS,
+    LEDGER_VERSION,
+    SLOAccountingError,
+    SLOLedger,
+)
+
+__all__ = [
+    "DEFAULT_BUCKET_EDGES_MS",
+    "DiurnalLoad",
+    "FlashCrowd",
+    "LEDGER_VERSION",
+    "SLOAccountingError",
+    "SLOLedger",
+    "SOAK_SNAPSHOT_VERSION",
+    "SoakConfig",
+    "SoakDriver",
+    "SoakError",
+    "SoakResult",
+    "build_soak_deltas",
+    "make_load",
+    "regional_storm",
+    "run_soak",
+]

@@ -1,0 +1,106 @@
+"""ChaosHarness → controller wiring: storms drive the daemon directly.
+
+The regression the soak PR pins down: translating a chaos storm through
+``deltas_from_fault_schedule`` and feeding it to the controller must
+produce *exactly* the installs a hand-fed copy of the same delta list
+produces — the storm path adds weather, not nondeterminism.  Plus the
+safety guard: a storm may never darken the deployment's last healthy PoP.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.controller import PopDown, PopUp
+from repro.experiments.chaos import ChaosConfig, ChaosHarness
+
+pytestmark = pytest.mark.soak
+
+
+@pytest.fixture()
+def harness():
+    return ChaosHarness(ChaosConfig(storms=1, duration_s=900.0, seed=5))
+
+
+def journal_bytes(checkpoint_dir):
+    return (checkpoint_dir / "journal.jsonl").read_bytes()
+
+
+def install_events(checkpoint_dir):
+    lines = journal_bytes(checkpoint_dir).decode().splitlines()
+    return [
+        event
+        for event in (json.loads(line) for line in lines[1:])
+        if event["event"] == "controller_install"
+    ]
+
+
+class TestStormDrivenController:
+    def test_storm_deltas_match_hand_fed_deltas(
+        self, harness, scenario, tmp_path
+    ):
+        deltas = harness.controller_deltas(scenario, storm=0)
+        assert deltas, "storm produced no controller deltas"
+
+        stormy = harness.drive_controller(scenario, 0, tmp_path / "storm")
+        hand_fed = harness.drive_controller(
+            scenario, 0, tmp_path / "hand", deltas=list(deltas)
+        )
+
+        assert stormy.final_config == hand_fed.final_config
+        assert stormy.iterations_run == hand_fed.iterations_run
+        assert stormy.deltas_applied == hand_fed.deltas_applied
+        assert install_events(tmp_path / "storm") == install_events(
+            tmp_path / "hand"
+        )
+        assert journal_bytes(tmp_path / "storm") == journal_bytes(
+            tmp_path / "hand"
+        )
+
+    def test_run_shape(self, harness, scenario, tmp_path):
+        deltas = harness.controller_deltas(scenario, storm=0)
+        result = harness.drive_controller(scenario, 0, tmp_path / "cp")
+        assert result.final_config is not None
+        assert result.deltas_applied == len(deltas)
+        assert result.degradations == 0
+
+    def test_storm_is_deterministic_per_index(self, harness, scenario):
+        first = harness.controller_deltas(scenario, storm=0)
+        again = harness.controller_deltas(scenario, storm=0)
+        other = harness.controller_storm(scenario, storm=1)
+        assert first == again
+        assert other != harness.controller_storm(scenario, storm=0)
+
+
+class TestLastPopGuard:
+    def test_storm_never_darkens_every_pop(self, scenario):
+        total = {p.name for p in scenario.deployment.pops}
+        # A violent storm: far more outages than PoPs.
+        harness = ChaosHarness(
+            ChaosConfig(storms=1, duration_s=900.0, seed=1, intensity=10.0)
+        )
+        deltas = harness.controller_deltas(scenario, storm=0)
+        raw = harness.controller_storm(scenario, storm=0)
+        assert len(raw.events) >= len(total), "storm not violent enough"
+        down = set()
+        for delta in deltas:
+            if isinstance(delta, PopDown):
+                down.add(delta.pop_name)
+            elif isinstance(delta, PopUp):
+                down.discard(delta.pop_name)
+            assert len(down) < len(total)
+
+    def test_guard_drops_the_paired_heal_too(self, scenario):
+        harness = ChaosHarness(
+            ChaosConfig(storms=1, duration_s=900.0, seed=1, intensity=10.0)
+        )
+        deltas = harness.controller_deltas(scenario, storm=0)
+        # A PopUp only survives the filter if some PopDown for the same
+        # PoP did — a guard-dropped outage loses its heal as well.
+        downed = {
+            d.pop_name for d in deltas if isinstance(d, PopDown)
+        }
+        healed = {d.pop_name for d in deltas if isinstance(d, PopUp)}
+        assert healed <= downed

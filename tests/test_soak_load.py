@@ -1,0 +1,152 @@
+"""Properties of the soak load generator (:mod:`repro.soak.load`).
+
+The soak harness's determinism contract rests on the load model being a
+pure function of (seed, window): flow keys must regenerate bit-identically
+so expired windows can be ended without storing a key, and the VolumeShift
+stream must put exactly one timestamp bucket on every window boundary so
+controller iteration *k* always simulates window *k*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soak.load import _MIN_MULTIPLIER, DiurnalLoad
+
+pytestmark = pytest.mark.soak
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def make_load(scenario, **kwargs):
+    defaults = dict(
+        seed=0,
+        windows=8,
+        window_s=600.0,
+        base_arrivals=1_000,
+        amplitude=0.5,
+        flash_crowds=1,
+    )
+    defaults.update(kwargs)
+    return DiurnalLoad(scenario, **defaults)
+
+
+class TestDemandCurve:
+    @given(seed=seeds, window=st.integers(0, 23))
+    @settings(max_examples=30)
+    def test_multipliers_pure_and_bounded(self, scenario, seed, window):
+        a = make_load(scenario, seed=seed, windows=24)
+        b = make_load(scenario, seed=seed, windows=24)
+        mult = a.multipliers(window)
+        np.testing.assert_array_equal(mult, b.multipliers(window))
+        assert np.all(mult >= _MIN_MULTIPLIER)
+        # Diurnal swing is 1 ± amplitude; crowds multiply on top of that.
+        ceiling = (1.0 + a.amplitude) * max(
+            [c.multiplier for c in a.crowds], default=1.0
+        )
+        assert np.all(mult <= ceiling + 1e-9)
+
+    def test_diurnal_phase_follows_longitude(self, scenario):
+        load = make_load(scenario, flash_crowds=0, windows=24, window_s=3600.0)
+        hours = load.local_hours(0)
+        assert hours.shape == (load.n_ugs,)
+        assert np.all((hours >= 0) & (hours < 24))
+        # One window of 3600s advances every UG's local clock by one hour.
+        np.testing.assert_allclose(
+            load.local_hours(1), (hours + 1.0) % 24.0
+        )
+
+    def test_flash_crowd_scales_only_its_metro(self, scenario):
+        calm = make_load(scenario, seed=5, flash_crowds=0)
+        stormy = make_load(scenario, seed=5, flash_crowds=1)
+        assert len(stormy.crowds) == 1
+        crowd = stormy.crowds[0]
+        mask = np.array(
+            [ug.metro.name == crowd.metro for ug in scenario.user_groups]
+        )
+        assert mask.any()
+        window = crowd.start_window
+        ratio = stormy.multipliers(window) / calm.multipliers(window)
+        np.testing.assert_allclose(ratio[mask], crowd.multiplier)
+        np.testing.assert_allclose(ratio[~mask], 1.0)
+        # Outside the crowd's span the two loads are identical.
+        np.testing.assert_array_equal(
+            stormy.multipliers(crowd.end_window),
+            calm.multipliers(crowd.end_window),
+        )
+
+    def test_arrivals_track_the_weighted_curve(self, scenario):
+        load = make_load(scenario, seed=1, base_arrivals=10_000)
+        for window in range(load.windows):
+            weights = np.array([ug.volume for ug in scenario.user_groups])
+            mean = float(
+                (weights * load.multipliers(window)).sum() / weights.sum()
+            )
+            assert load.arrivals(window) == int(round(10_000 * mean))
+        assert make_load(scenario, base_arrivals=0).arrivals(0) == 0
+
+
+class TestBatchRegeneration:
+    @given(seed=seeds, window=st.integers(0, 7))
+    @settings(max_examples=20)
+    def test_batch_regenerates_bit_identically(self, scenario, seed, window):
+        load = make_load(scenario, seed=seed)
+        first = load.batch(window)
+        again = make_load(scenario, seed=seed).batch(window)
+        np.testing.assert_array_equal(first.keys, again.keys)
+        np.testing.assert_array_equal(first.service_ids, again.service_ids)
+        np.testing.assert_array_equal(
+            first.payload_bytes, again.payload_bytes
+        )
+
+    def test_windows_draw_distinct_flow_keys(self, scenario):
+        load = make_load(scenario, seed=2)
+        keys = [load.batch(w).keys for w in range(4)]
+        for w in range(1, 4):
+            assert load.batch_seed(w) != load.batch_seed(w - 1)
+            assert not np.array_equal(keys[w], keys[w - 1])
+
+    def test_batch_sizes_follow_arrivals(self, scenario):
+        load = make_load(scenario, seed=4)
+        for window in range(load.windows):
+            assert len(load.batch(window)) == load.arrivals(window)
+
+
+class TestVolumeDeltaAlignment:
+    @given(
+        seed=seeds,
+        windows=st.integers(2, 10),
+        shifts=st.integers(1, 12),
+    )
+    @settings(max_examples=25)
+    def test_exactly_one_bucket_per_boundary(
+        self, scenario, seed, windows, shifts
+    ):
+        load = make_load(scenario, seed=seed, windows=windows)
+        deltas = load.volume_deltas(shifts_per_window=shifts)
+        expected_per_boundary = min(shifts, load.n_ugs)
+        by_boundary = {}
+        for delta in deltas:
+            by_boundary.setdefault(delta.at_s, []).append(delta)
+        assert sorted(by_boundary) == [
+            w * load.window_s for w in range(1, windows)
+        ]
+        for bucket in by_boundary.values():
+            assert len(bucket) == expected_per_boundary
+
+    def test_shift_volumes_match_the_curve(self, scenario):
+        load = make_load(scenario, seed=7, windows=4)
+        id_to_index = {
+            int(ug.ug_id): i for i, ug in enumerate(scenario.user_groups)
+        }
+        for delta in load.volume_deltas(shifts_per_window=4):
+            window = int(delta.at_s // load.window_s)
+            expected = load.volumes(window)[id_to_index[delta.ug_id]]
+            assert delta.volume == pytest.approx(float(expected))
+
+    def test_rejects_zero_shifts(self, scenario):
+        with pytest.raises(ValueError):
+            make_load(scenario).volume_deltas(shifts_per_window=0)

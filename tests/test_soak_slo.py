@@ -1,0 +1,208 @@
+"""Invariants of the per-UG SLO ledger (:mod:`repro.soak.slo`).
+
+The ledger is the soak run's source of truth, so its hard invariants get
+property coverage: downtime + uptime must always equal the accounted wall
+window, flow accounting must close per UG per window, the bucketed p99 is
+monotone under added latency, and the full state round-trips through
+``state_dict``/``from_state`` with a stable fingerprint.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soak.slo import (
+    DEFAULT_BUCKET_EDGES_MS,
+    SLOAccountingError,
+    SLOLedger,
+)
+
+pytestmark = pytest.mark.soak
+
+
+def observe(ledger, window, offered, served, up=None, latency=None, **kw):
+    """One consistent window: unroutable absorbs the offered/served gap."""
+    n = ledger.n_ugs
+    offered = np.asarray(offered, dtype=np.int64)
+    served = np.asarray(served, dtype=np.int64)
+    ledger.observe_window(
+        window,
+        offered=offered,
+        served=served,
+        unroutable=offered - served,
+        shed=np.zeros(n, dtype=np.int64),
+        latency_ms=(
+            np.full(n, 25.0) if latency is None else np.asarray(latency)
+        ),
+        up_mask=np.ones(n, dtype=bool) if up is None else np.asarray(up),
+        switches=np.zeros(n, dtype=np.int64),
+        **kw,
+    )
+
+
+class TestAvailabilityInvariant:
+    @given(
+        n_ugs=st.integers(1, 16),
+        window_s=st.floats(1.0, 7200.0),
+        masks=st.lists(
+            st.lists(st.booleans(), min_size=1, max_size=16),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=50)
+    def test_downtime_plus_uptime_is_wall_window(
+        self, n_ugs, window_s, masks
+    ):
+        ledger = SLOLedger(n_ugs, window_s=window_s)
+        for window, mask in enumerate(masks):
+            up = np.array([(mask * n_ugs)[:n_ugs]], dtype=bool).ravel()
+            observe(ledger, window, np.full(n_ugs, 5), np.full(n_ugs, 5), up=up)
+        wall = len(masks) * window_s
+        np.testing.assert_allclose(ledger.downtime_s + ledger.uptime_s, wall)
+        assert ledger.wall_window_s == pytest.approx(wall)
+        ledger.check_invariants()
+
+    def test_down_window_accrues_downtime(self):
+        ledger = SLOLedger(3, window_s=60.0)
+        observe(ledger, 0, [4, 4, 4], [4, 0, 4], up=[True, False, True])
+        assert ledger.downtime_s.tolist() == [0.0, 60.0, 0.0]
+        assert ledger.window_rows[-1]["down_ugs"] == 1
+
+
+class TestFlowAccounting:
+    def test_mismatch_is_counted_and_trips_invariants(self):
+        ledger = SLOLedger(2, window_s=10.0)
+        ledger.observe_window(
+            0,
+            offered=np.array([5, 5]),
+            served=np.array([5, 3]),  # one flow vanished for UG 1
+            unroutable=np.array([0, 1]),
+            shed=np.zeros(2, dtype=np.int64),
+            latency_ms=np.full(2, 10.0),
+            up_mask=np.ones(2, dtype=bool),
+            switches=np.zeros(2, dtype=np.int64),
+        )
+        assert ledger.accounting_errors == 1
+        assert ledger.window_rows[-1]["accounting_errors"] == 1
+        with pytest.raises(SLOAccountingError):
+            ledger.check_invariants()
+
+    def test_zero_flow_window_is_clean(self):
+        ledger = SLOLedger(4, window_s=30.0)
+        observe(ledger, 0, np.zeros(4), np.zeros(4))
+        assert ledger.accounting_errors == 0
+        assert ledger.windows_accounted == 1
+        assert ledger.p99_ms() is None
+        assert ledger.summary()["fleet_p99_ms"] is None
+        ledger.check_invariants()
+
+    def test_shape_mismatch_is_rejected(self):
+        ledger = SLOLedger(3, window_s=10.0)
+        with pytest.raises(ValueError, match="offered"):
+            ledger.observe_window(
+                0,
+                offered=np.zeros(2, dtype=np.int64),
+                served=np.zeros(3, dtype=np.int64),
+                unroutable=np.zeros(3, dtype=np.int64),
+                shed=np.zeros(3, dtype=np.int64),
+                latency_ms=np.zeros(3),
+                up_mask=np.ones(3, dtype=bool),
+                switches=np.zeros(3, dtype=np.int64),
+            )
+
+
+class TestLatencyQuantiles:
+    @given(
+        latencies=st.lists(st.floats(0.5, 900.0), min_size=1, max_size=12),
+        shift=st.floats(0.0, 500.0),
+    )
+    @settings(max_examples=50)
+    def test_p99_monotone_under_added_latency(self, latencies, shift):
+        base = SLOLedger(1, window_s=10.0)
+        shifted = SLOLedger(1, window_s=10.0)
+        for window, latency in enumerate(latencies):
+            observe(base, window, [7], [7], latency=[latency])
+            observe(shifted, window, [7], [7], latency=[latency + shift])
+        assert shifted.p99_ms() >= base.p99_ms()
+
+    def test_p99_is_a_covering_bucket_edge(self):
+        ledger = SLOLedger(1, window_s=10.0)
+        observe(ledger, 0, [100], [100], latency=[37.0])
+        p99 = ledger.p99_ms(0)
+        assert p99 in DEFAULT_BUCKET_EDGES_MS
+        assert p99 >= 37.0
+        # All mass in one bucket: every quantile answers the same edge.
+        assert ledger.p99_ms(0, q=0.5) == p99
+
+    def test_overflow_bucket_reports_inf(self):
+        ledger = SLOLedger(1, window_s=10.0)
+        observe(ledger, 0, [10], [10], latency=[1e6])
+        assert ledger.p99_ms() == math.inf
+
+    def test_down_ugs_do_not_pollute_the_histogram(self):
+        ledger = SLOLedger(2, window_s=10.0)
+        observe(
+            ledger,
+            0,
+            [5, 5],
+            [5, 0],
+            up=[True, False],
+            latency=[20.0, np.inf],
+        )
+        assert ledger.latency_hist[1].sum() == 0
+        assert ledger.p99_ms(1) is None
+
+
+class TestBudgetAndRoundTrip:
+    def test_budget_overspend(self):
+        ledger = SLOLedger(2, window_s=10.0, failover_budget=3)
+        ledger.observe_window(
+            0,
+            offered=np.array([1, 1]),
+            served=np.array([1, 1]),
+            unroutable=np.zeros(2, dtype=np.int64),
+            shed=np.zeros(2, dtype=np.int64),
+            latency_ms=np.full(2, 5.0),
+            up_mask=np.ones(2, dtype=bool),
+            switches=np.array([5, 2]),
+        )
+        assert ledger.budget_overspend().tolist() == [2, 0]
+        assert ledger.summary()["budget_violations"] == 1
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20)
+    def test_state_round_trip_preserves_fingerprint(self, seed):
+        rng = np.random.default_rng(seed)
+        ledger = SLOLedger(5, window_s=45.0, failover_budget=2)
+        for window in range(3):
+            offered = rng.integers(0, 50, size=5)
+            served = rng.integers(0, offered + 1, size=5)
+            observe(
+                ledger,
+                window,
+                offered,
+                served,
+                up=rng.random(5) > 0.3,
+                latency=rng.uniform(1.0, 400.0, size=5),
+                remaps=int(rng.integers(0, 3)),
+            )
+        clone = SLOLedger.from_state(ledger.state_dict())
+        assert clone.fingerprint() == ledger.fingerprint()
+        assert clone.window_rows == ledger.window_rows
+        np.testing.assert_array_equal(clone.latency_hist, ledger.latency_hist)
+        assert clone.p99_ms() == ledger.p99_ms()
+        # Divergent history ⇒ divergent fingerprint.
+        observe(clone, 3, np.full(5, 1), np.full(5, 1))
+        assert clone.fingerprint() != ledger.fingerprint()
+
+    def test_unknown_version_is_rejected(self):
+        state = SLOLedger(1, window_s=1.0).state_dict()
+        state["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            SLOLedger.from_state(state)
