@@ -53,6 +53,7 @@ class BGPSimulator:
         prefix: str,
         announce_to: Iterable[int],
         prepend: Optional[Dict[int, int]] = None,
+        communities: Optional[Dict[int, Tuple[str, ...]]] = None,
     ) -> Dict[int, Route]:
         """Announce ``prefix`` to the neighbor ASNs in ``announce_to``.
 
@@ -61,7 +62,11 @@ class BGPSimulator:
         a neighbor of the origin.  ``prepend`` optionally maps a neighbor ASN
         to an AS-path prepend count applied on that session, making routes
         through it less attractive downstream (an advertisement attribute
-        prior work uses to expose even more paths).
+        prior work uses to expose even more paths).  ``communities``
+        optionally maps a neighbor ASN to the community strings tagged on
+        that session; tags ride along transitively but do not themselves
+        affect the decision process (interpreting layers model their
+        effects explicitly, e.g. via ``prepend``).
         """
         targets = list(dict.fromkeys(announce_to))
         origin_neighbors = self._graph.neighbors(self._origin)
@@ -69,6 +74,7 @@ class BGPSimulator:
             if asn not in origin_neighbors:
                 raise ValueError(f"AS{asn} is not a neighbor of origin AS{self._origin}")
         prepend = prepend or {}
+        communities = communities or {}
 
         best: Dict[int, Route] = {}
         work: deque = deque()
@@ -81,6 +87,7 @@ class BGPSimulator:
                 as_path=(self._origin,),
                 relationship=rel,
                 prepend=prepend.get(asn, 0),
+                communities=communities.get(asn, ()),
             )
             if self._install(best, asn, route):
                 work.append(asn)

@@ -16,6 +16,9 @@ Commands:
 * ``soak``     — run a simulated day of diurnal load, flash crowds, and
   rolling regional outages through the composed system (controller +
   vector data plane) with per-UG SLO accounting (``repro.soak``);
+* ``communities`` — BGP action-community steering comparator (benefit and
+  best-ingress coverage vs PAINTER) plus the hot-potato link-weight-epoch
+  coexistence scenario (``repro.steering.communities``);
 * ``optimality`` — measure Algorithm 1's greedy-vs-ILP benefit gap with
   LP-bound soundness checks (``repro.optimality``);
 * ``trace``    — render the per-phase time/benefit breakdown of a JSONL run
@@ -415,6 +418,91 @@ def cmd_soak(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_communities(args: argparse.Namespace) -> int:
+    """Community-steering comparator and hot-potato coexistence scenario."""
+    import json
+    from pathlib import Path
+
+    from repro.egress.coexistence import evaluate_coexistence
+    from repro.experiments.fig6 import painter_budget_configs
+    from repro.experiments.hotpotato import run_hot_potato
+    from repro.steering.communities import (
+        communities_benefit,
+        coverage_of_best_ingress,
+        solve_communities,
+    )
+
+    scenario = _scenario_from(args)
+    payload: dict = {"preset": args.preset, "seed": args.seed, "budget": args.budget}
+
+    if args.check_frozen:
+        # The CI gate: with a frozen (single-epoch) weight schedule, both
+        # modes must show exactly zero oscillations and the PAINTER row must
+        # be bit-identical to the additive coexistence evaluation.
+        result = run_hot_potato(
+            scenario=scenario, budget=args.budget, n_epochs=1, seed=args.seed
+        )
+        config = painter_budget_configs(scenario, [args.budget])[args.budget]
+        expected = evaluate_coexistence(scenario, config).combined_gain
+        painter_rows = [row for row in result.rows if row[0] == "painter"]
+        oscillations = sum(row[2] for row in result.rows)
+        actual = painter_rows[0][3]
+        ok = oscillations == 0 and actual == expected
+        payload["check_frozen"] = {
+            "oscillations": oscillations,
+            "painter_gain": actual,
+            "coexistence_gain": expected,
+            "bit_identical": actual == expected,
+            "passed": ok,
+        }
+        print(
+            f"frozen-epoch check: oscillations={oscillations}, "
+            f"painter gain {actual!r} vs coexistence {expected!r} -> "
+            f"{'OK' if ok else 'VIOLATION'}"
+        )
+        if args.json:
+            Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+            print(f"wrote {args.json}")
+        return 0 if ok else 1
+
+    solution = solve_communities(scenario, args.budget)
+    total_possible = scenario.total_possible_benefit()
+    benefit = communities_benefit(scenario, solution.announcements)
+    coverage = coverage_of_best_ingress(scenario, solution.announcements)
+    print(scenario.describe())
+    print(
+        f"communities: {len(solution.announcements)} announcement groups "
+        f"(budget {args.budget})"
+    )
+    print(
+        f"benefit: {benefit:.2f} weighted ms "
+        f"({100 * benefit / total_possible:.1f}% of possible), "
+        f"best-ingress coverage {100 * coverage:.1f}% of volume"
+    )
+    payload["groups"] = len(solution.announcements)
+    payload["benefit_frac"] = benefit / total_possible
+    payload["coverage_frac"] = coverage
+
+    result = run_hot_potato(
+        scenario=scenario,
+        budget=args.budget,
+        n_epochs=args.epochs,
+        amplitude=args.amplitude,
+        seed=args.seed,
+    )
+    print()
+    print(result.render())
+    payload["hotpotato"] = {
+        "columns": list(result.columns),
+        "rows": [list(row) for row in result.rows],
+        "notes": list(result.notes),
+    }
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_optimality(args: argparse.Namespace) -> int:
     """Greedy-vs-ILP optimality gap and LP-bound soundness check."""
     from repro.experiments.optimality import run_greedy_gap
@@ -745,6 +833,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="where in the iteration the injected crash fires",
     )
     soak.set_defaults(func=cmd_soak)
+
+    communities = sub.add_parser(
+        "communities",
+        help="community-steering comparator (benefit + best-ingress coverage) "
+        "and the hot-potato link-weight-epoch scenario",
+    )
+    _add_scenario_args(communities)
+    communities.add_argument(
+        "--budget", type=int, default=8, help="announcement-group budget"
+    )
+    communities.add_argument(
+        "--epochs", type=int, default=4,
+        help="link-weight epochs for the hot-potato scenario",
+    )
+    communities.add_argument(
+        "--amplitude", type=float, default=0.3,
+        help="IGP weight swing amplitude per epoch (fraction)",
+    )
+    communities.add_argument(
+        "--check-frozen", action="store_true",
+        help="CI gate: verify a frozen (single-epoch) schedule yields zero "
+        "oscillations and bit-identical PAINTER coexistence gain; exit 1 "
+        "on violation",
+    )
+    communities.add_argument(
+        "--json", type=str, default=None, help="write results JSON here"
+    )
+    communities.set_defaults(func=cmd_communities)
 
     optimality = sub.add_parser(
         "optimality",

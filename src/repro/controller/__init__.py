@@ -45,6 +45,7 @@ from repro.controller.daemon import (
 from repro.controller.deltas import (
     Delta,
     DeltaError,
+    LinkWeightShift,
     PeeringDown,
     PeeringUp,
     PopDown,
@@ -54,6 +55,7 @@ from repro.controller.deltas import (
     delta_to_dict,
     deltas_from_fault_schedule,
     group_deltas,
+    link_weight_deltas,
     load_deltas,
     save_deltas,
     synthetic_deltas,
@@ -72,6 +74,7 @@ __all__ = [
     "DeltaError",
     "DurableJournal",
     "IterationTimeout",
+    "LinkWeightShift",
     "PainterController",
     "PeeringDown",
     "PeeringUp",
@@ -82,6 +85,7 @@ __all__ = [
     "delta_to_dict",
     "deltas_from_fault_schedule",
     "group_deltas",
+    "link_weight_deltas",
     "load_deltas",
     "save_deltas",
     "synthetic_deltas",

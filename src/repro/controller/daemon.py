@@ -44,6 +44,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 from repro.controller.checkpoint import CheckpointStore, DurableJournal
 from repro.controller.deltas import (
     Delta,
+    LinkWeightShift,
     PeeringDown,
     PeeringUp,
     PopDown,
@@ -247,6 +248,12 @@ class PainterController:
         self._divergences = 0
         self._deltas_applied = 0
         self._staleness = 0
+        #: Current intra-cloud link-weight epoch (LinkWeightShift deltas).
+        #: The solve itself is deliberately unaffected: PAINTER's prefix
+        #: advertisements carry no IGP signal, so an epoch shift must not
+        #: perturb its ingress choices — the holds-ingress property the
+        #: hot-potato scenario measures against MED-steered comparators.
+        self._weight_epoch = 0
 
     @property
     def orchestrator(self) -> PainterOrchestrator:
@@ -260,6 +267,11 @@ class PainterController:
     def journal(self) -> Optional[DurableJournal]:
         """The live durable journal (None outside :meth:`run`)."""
         return self._journal
+
+    @property
+    def weight_epoch(self) -> int:
+        """Current intra-cloud link-weight epoch (0 until a shift arrives)."""
+        return self._weight_epoch
 
     def close(self) -> None:
         if self._journal is not None:
@@ -308,6 +320,7 @@ class PainterController:
             },
             "scenario": self._scenario.name,
             "prefix_budget": self._orch.prefix_budget,
+            "weight_epoch": self._weight_epoch,
         }
 
     def _restore(self, payload: Dict[str, Any]) -> None:
@@ -327,6 +340,7 @@ class PainterController:
         self._divergences = int(counters.get("divergences", 0))
         self._deltas_applied = int(counters.get("deltas_applied", 0))
         self._staleness = int(counters.get("staleness", 0))
+        self._weight_epoch = int(payload.get("weight_epoch", 0))
         extension = payload.get("extension")
         if self._extension is not None and extension is not None:
             self._extension.restore(extension)
@@ -347,6 +361,11 @@ class PainterController:
             up = isinstance(delta, PopUp)
             for peering in self._scenario.deployment.peerings_at(pop):
                 orch.set_peering_enabled(peering.peering_id, up)
+        elif isinstance(delta, LinkWeightShift):
+            # Tracked and journaled only: reachability is unchanged, and
+            # PAINTER's advertisements do not encode IGP cost, so there is
+            # nothing for the solve to react to (see _weight_epoch).
+            self._weight_epoch = delta.epoch
         else:  # pragma: no cover - the vocabulary is closed
             raise ControllerError(f"unhandled delta type {type(delta)!r}")
         self._deltas_applied += 1

@@ -122,12 +122,34 @@ class PopUp(Delta):
             raise DeltaError("PopUp needs a pop_name")
 
 
+@dataclass(frozen=True)
+class LinkWeightShift(Delta):
+    """The cloud's intra-domain link weights move to a new epoch.
+
+    The epoch indexes a :class:`repro.egress.coexistence.LinkWeightEpochs`
+    schedule; it shifts hot-potato egress costs (and the MEDs that mirror
+    them) without changing reachability, so PAINTER's advertisements are
+    unaffected while MED-steered ingress choices may flip.
+    """
+
+    epoch: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.epoch < 0:
+            raise DeltaError("epoch must be non-negative")
+
+    def describe(self) -> str:
+        return f"LinkWeightShift@{self.at_s:g}s[epoch {self.epoch}]"
+
+
 _DELTA_TYPES: Dict[str, type] = {
     "volume_shift": VolumeShift,
     "peering_down": PeeringDown,
     "peering_up": PeeringUp,
     "pop_down": PopDown,
     "pop_up": PopUp,
+    "link_weight_shift": LinkWeightShift,
 }
 _TYPE_NAMES = {cls: name for name, cls in _DELTA_TYPES.items()}
 
@@ -143,6 +165,8 @@ def delta_to_dict(delta: Delta) -> Dict[str, Any]:
         document["volume"] = delta.volume
     elif isinstance(delta, (PeeringDown, PeeringUp)):
         document["peering_id"] = delta.peering_id
+    elif isinstance(delta, LinkWeightShift):
+        document["epoch"] = delta.epoch
     else:
         document["pop_name"] = delta.pop_name
     return document
@@ -290,3 +314,20 @@ def deltas_from_fault_schedule(schedule, *, interval_s: float = 1.0) -> List[Del
         if not math.isinf(event.end_s):
             deltas.append(PopUp(at_s=event.end_s, pop_name=event.pop_name))
     return sorted(deltas, key=lambda d: d.at_s)
+
+
+def link_weight_deltas(
+    n_epochs: int, *, interval_s: float = 60.0
+) -> List[Delta]:
+    """One :class:`LinkWeightShift` per epoch after the first.
+
+    Epoch 0 is the initial state (no delta); epoch ``k`` (k >= 1) lands at
+    ``k * interval_s``.  A single-epoch schedule yields an empty stream —
+    the frozen-epoch case.
+    """
+    if n_epochs < 1:
+        raise DeltaError("need at least one epoch")
+    return [
+        LinkWeightShift(at_s=epoch * interval_s, epoch=epoch)
+        for epoch in range(1, n_epochs)
+    ]

@@ -1,17 +1,23 @@
 """Egress-direction substrate: coexistence with egress traffic engineering."""
 
 from repro.egress.coexistence import (
+    CoexistenceError,
     CoexistenceResult,
     DirectionalLatency,
     DirectionalModel,
     EgressOptimizer,
+    LinkWeightEpochs,
     evaluate_coexistence,
+    painter_ingress_ms,
 )
 
 __all__ = [
+    "CoexistenceError",
     "CoexistenceResult",
     "DirectionalLatency",
     "DirectionalModel",
     "EgressOptimizer",
+    "LinkWeightEpochs",
     "evaluate_coexistence",
+    "painter_ingress_ms",
 ]

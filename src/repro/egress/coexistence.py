@@ -8,20 +8,30 @@ components, models an egress optimizer choosing the reverse path per UG, and
 verifies that running both yields (approximately) additive improvement.
 
 The decomposition keeps the invariant ``ingress_ms + egress_ms == rtt_ms``
-for the default (same-peering, symmetric-route) case, then lets the egress
-optimizer pick a *different* peering for the reverse direction.
+*exactly* for the default (same-peering, symmetric-route) case, then lets
+the egress optimizer pick a *different* peering for the reverse direction.
+
+:class:`LinkWeightEpochs` extends the model with intra-cloud IGP link-weight
+schedules (Balon & Leduc, arXiv:0803.2824): each epoch re-draws per-PoP cost
+multipliers, shifting which exit is hot-potato-cheapest mid-run.  Epoch 0 is
+always the identity, so single-epoch runs reduce bit-for-bit to the static
+model — the frozen-epoch regression the hot-potato scenario is gated on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.advertisement import AdvertisementConfig
 from repro.scenario import Scenario
 from repro.topology.cloud import Peering
 from repro.usergroups.usergroup import UserGroup
 from repro.util import stable_rng
+
+
+class CoexistenceError(RuntimeError):
+    """An invariant of the directional model or egress optimizer was violated."""
 
 
 @dataclass(frozen=True)
@@ -36,26 +46,96 @@ class DirectionalLatency:
         return self.ingress_ms + self.egress_ms
 
 
+@dataclass(frozen=True)
+class LinkWeightEpochs:
+    """Per-epoch intra-cloud link-weight multipliers, one draw per PoP.
+
+    Epoch 0 is the identity (multiplier exactly 1.0 everywhere); later
+    epochs re-draw a multiplier in ``[1 - amplitude, 1 + amplitude]`` per
+    PoP, standing in for an IGP weight change that makes some exits cheaper
+    and others dearer.  ``igp_med`` mirrors the same cost into the MED the
+    cloud would send on sessions at that PoP — the channel through which
+    IGP shifts leak into neighbors' ingress choices (hot-potato coupling).
+    """
+
+    n_epochs: int
+    seed: int = 0
+    amplitude: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.n_epochs < 1:
+            raise ValueError("n_epochs must be >= 1")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+
+    def multiplier(self, epoch: int, pop_name: str) -> float:
+        if not 0 <= epoch < self.n_epochs:
+            raise CoexistenceError(
+                f"epoch {epoch} out of range [0, {self.n_epochs})"
+            )
+        if epoch == 0:
+            return 1.0
+        rng = stable_rng(self.seed, "igp", epoch, pop_name)
+        return 1.0 + rng.uniform(-self.amplitude, self.amplitude)
+
+    def igp_med(self, epoch: int, pop_name: str) -> int:
+        """The MED the cloud advertises at this PoP: scaled epoch IGP cost."""
+        return int(round(self.multiplier(epoch, pop_name) * 1000))
+
+
 class DirectionalModel:
     """Splits the RTT oracle into asymmetric one-way components.
 
     Real forward/reverse paths differ (different intra-AS routes, different
     congestion); the split ratio is a stable hidden draw per (UG AS, peer
-    AS), centered on 50/50.
+    AS), centered on 50/50.  With ``epochs`` set, ``split(..., epoch=k)``
+    scales the egress leg by the epoch's per-PoP multiplier (the reverse
+    path crosses the cloud's backbone, the forward leg does not).
     """
 
-    def __init__(self, scenario: Scenario, seed: int = 0, asymmetry: float = 0.15) -> None:
+    def __init__(
+        self,
+        scenario: Scenario,
+        seed: int = 0,
+        asymmetry: float = 0.15,
+        epochs: Optional[LinkWeightEpochs] = None,
+    ) -> None:
         if not 0.0 <= asymmetry < 0.5:
             raise ValueError("asymmetry must be in [0, 0.5)")
         self._scenario = scenario
         self._seed = seed
         self._asymmetry = asymmetry
+        self._epochs = epochs
 
-    def split(self, ug: UserGroup, peering: Peering, day: int = 0) -> DirectionalLatency:
+    @property
+    def epochs(self) -> Optional[LinkWeightEpochs]:
+        return self._epochs
+
+    def split(
+        self, ug: UserGroup, peering: Peering, day: int = 0, epoch: int = 0
+    ) -> DirectionalLatency:
         rtt = self._scenario.latency_model.latency_ms(ug, peering, day=day)
         rng = stable_rng(self._seed, "split", ug.asn, peering.peer_asn)
         ratio = 0.5 + rng.uniform(-self._asymmetry, self._asymmetry)
-        return DirectionalLatency(ingress_ms=rtt * ratio, egress_ms=rtt * (1.0 - ratio))
+        # egress is derived by subtraction (not an independent rtt*(1-ratio)
+        # product, which drifts from rtt by rounding); one compensation step
+        # then an explicit check enforce the symmetric-case invariant.
+        ingress = rtt * ratio
+        egress = rtt - ingress
+        if ingress + egress != rtt:
+            ingress = rtt - egress
+        if ingress + egress != rtt:
+            raise CoexistenceError(
+                f"directional split drifted from RTT for {ug} via "
+                f"peering {peering.peering_id}: {ingress} + {egress} != {rtt}"
+            )
+        if epoch != 0:
+            if self._epochs is None:
+                raise CoexistenceError(
+                    "split(epoch != 0) requires a LinkWeightEpochs schedule"
+                )
+            egress = egress * self._epochs.multiplier(epoch, peering.pop.name)
+        return DirectionalLatency(ingress_ms=ingress, egress_ms=egress)
 
 
 class EgressOptimizer:
@@ -70,19 +150,57 @@ class EgressOptimizer:
         self._scenario = scenario
         self._model = model
 
-    def best_egress_ms(self, ug: UserGroup, day: int = 0) -> float:
+    def best_egress(
+        self,
+        ug: UserGroup,
+        day: int = 0,
+        epoch: int = 0,
+        restrict: Optional[Iterable[int]] = None,
+    ) -> Tuple[Peering, float]:
+        """The egress peering the optimizer picks, with its one-way latency.
+
+        ``restrict`` replaces the candidate list with explicit peering ids
+        (e.g. a policy proposal); if the resulting choice falls outside the
+        UG's reachable set this raises :class:`CoexistenceError` rather
+        than silently returning a peering no return path exists for.
+        """
+        if restrict is None:
+            candidates: List[Peering] = self._scenario.catalog.ingresses(ug)
+        else:
+            deployment = self._scenario.deployment
+            candidates = [
+                deployment.peering(pid) for pid in sorted(frozenset(restrict))
+            ]
+        if not candidates:
+            raise CoexistenceError(f"{ug} has no egress candidates")
+        best = min(
+            candidates,
+            key=lambda p: (
+                self._model.split(ug, p, day=day, epoch=epoch).egress_ms,
+                p.peering_id,
+            ),
+        )
+        if best.peering_id not in self._scenario.catalog.ingress_ids(ug):
+            raise CoexistenceError(
+                f"egress optimizer chose peering {best.peering_id} outside "
+                f"the reachable set of {ug}"
+            )
+        return best, self._model.split(ug, best, day=day, epoch=epoch).egress_ms
+
+    def best_egress_ms(self, ug: UserGroup, day: int = 0, epoch: int = 0) -> float:
         candidates = self._scenario.catalog.ingresses(ug)
         if not candidates:
-            raise RuntimeError(f"{ug} has no egress candidates")
+            raise CoexistenceError(f"{ug} has no egress candidates")
         return min(
-            self._model.split(ug, peering, day=day).egress_ms for peering in candidates
+            self._model.split(ug, peering, day=day, epoch=epoch).egress_ms
+            for peering in candidates
         )
 
-    def default_egress_ms(self, ug: UserGroup, day: int = 0) -> float:
+    def default_egress_ms(self, ug: UserGroup, day: int = 0, epoch: int = 0) -> float:
         """Without egress TE: reverse traffic follows the anycast peering."""
         ingress = self._scenario.routing.anycast_ingress(ug)
         assert ingress is not None
-        return self._model.split(ug, ingress, day=day).egress_ms
+        return self._model.split(ug, ingress, day=day, epoch=epoch).egress_ms
 
 
 @dataclass(frozen=True)
@@ -115,38 +233,49 @@ class CoexistenceResult:
         return self.combined_gain / individual
 
 
+def painter_ingress_ms(
+    scenario: Scenario,
+    model: DirectionalModel,
+    config: AdvertisementConfig,
+    ug: UserGroup,
+) -> float:
+    """Best one-way ingress over PAINTER's prefixes (anycast fallback).
+
+    Shared by :func:`evaluate_coexistence` and the hot-potato runner so the
+    frozen-epoch differential compares identical arithmetic.
+    """
+    anycast = scenario.routing.anycast_ingress(ug)
+    assert anycast is not None
+    best = model.split(ug, anycast).ingress_ms
+    for prefix in config.prefixes:
+        advertised = config.peerings_for(prefix)
+        ingress = scenario.routing.ingress_for(ug, advertised)
+        if ingress is None:
+            continue
+        candidate = model.split(ug, ingress).ingress_ms
+        if candidate < best:
+            best = candidate
+    return best
+
+
 def evaluate_coexistence(
     scenario: Scenario,
     config: AdvertisementConfig,
     model: Optional[DirectionalModel] = None,
+    epoch: int = 0,
 ) -> CoexistenceResult:
     """Volume-weighted end-to-end latency for each system combination."""
     model = model or DirectionalModel(scenario)
     optimizer = EgressOptimizer(scenario, model)
-
-    def painter_ingress_ms(ug: UserGroup) -> float:
-        """Best one-way ingress over PAINTER's prefixes (anycast fallback)."""
-        anycast = scenario.routing.anycast_ingress(ug)
-        assert anycast is not None
-        best = model.split(ug, anycast).ingress_ms
-        for prefix in config.prefixes:
-            advertised = config.peerings_for(prefix)
-            ingress = scenario.routing.ingress_for(ug, advertised)
-            if ingress is None:
-                continue
-            candidate = model.split(ug, ingress).ingress_ms
-            if candidate < best:
-                best = candidate
-        return best
 
     neither = painter_only = egress_only = both = 0.0
     for ug in scenario.user_groups:
         anycast = scenario.routing.anycast_ingress(ug)
         assert anycast is not None
         default_in = model.split(ug, anycast).ingress_ms
-        default_out = optimizer.default_egress_ms(ug)
-        best_in = painter_ingress_ms(ug)
-        best_out = optimizer.best_egress_ms(ug)
+        default_out = optimizer.default_egress_ms(ug, epoch=epoch)
+        best_in = painter_ingress_ms(scenario, model, config, ug)
+        best_out = optimizer.best_egress_ms(ug, epoch=epoch)
         neither += ug.volume * (default_in + default_out)
         painter_only += ug.volume * (best_in + default_out)
         egress_only += ug.volume * (default_in + best_out)

@@ -8,6 +8,7 @@ from repro.experiments.extensions import (
     run_ext_multipath,
 )
 from repro.experiments.chaos import ChaosConfig, ChaosHarness, run_chaos
+from repro.experiments.communities_cmp import run_communities
 from repro.experiments.controller import run_controller
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig6 import run_fig6a, run_fig6b, run_fig6c
@@ -20,6 +21,7 @@ from repro.experiments.fig12 import run_fig12
 from repro.experiments.fig14 import run_fig14
 from repro.experiments.fig15 import run_fig15a, run_fig15b
 from repro.experiments.harness import ExperimentResult, budget_grid, config_prefix_subset
+from repro.experiments.hotpotato import run_hot_potato
 from repro.experiments.optimality import run_greedy_gap
 from repro.experiments.replay import (
     ReplayConfig,
@@ -31,6 +33,7 @@ from repro.experiments.soak import run_soak_experiment
 
 ALL_EXPERIMENTS = {
     "chaos": run_chaos,
+    "communities": run_communities,
     "controller": run_controller,
     "fig3": run_fig3,
     "fig6a": run_fig6a,
@@ -47,6 +50,7 @@ ALL_EXPERIMENTS = {
     "fig14": run_fig14,
     "fig15a": run_fig15a,
     "fig15b": run_fig15b,
+    "hotpotato": run_hot_potato,
     "optimality": run_greedy_gap,
     "replay": run_replay,
     "soak": run_soak_experiment,
@@ -62,7 +66,9 @@ __all__ = [
     "ChaosConfig",
     "ChaosHarness",
     "run_chaos",
+    "run_communities",
     "run_controller",
+    "run_hot_potato",
     "run_ext_congestion",
     "run_ext_egress",
     "run_ext_failover_sweep",

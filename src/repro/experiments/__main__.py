@@ -10,10 +10,20 @@ experiments out over worker processes, e.g.::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
 from repro.experiments import ALL_EXPERIMENTS
+
+
+def _experiment_kwargs(runner, strategies: list) -> dict:
+    """Forward ``--strategy`` only to experiments whose signature accepts it."""
+    if not strategies:
+        return {}
+    if "strategies" in inspect.signature(runner).parameters:
+        return {"strategies": tuple(strategies)}
+    return {}
 
 
 def main(argv: list) -> int:
@@ -27,12 +37,21 @@ def main(argv: list) -> int:
         "--jobs", type=int, default=1,
         help="worker processes (1 = serial in this process)",
     )
+    parser.add_argument(
+        "--strategy", action="append", default=[], dest="strategies",
+        help="add a named steering comparator (repeatable, e.g. --strategy "
+        "communities); forwarded to experiments that accept one",
+    )
     args = parser.parse_args(argv)
     requested = args.ids or list(ALL_EXPERIMENTS)
     unknown = [name for name in requested if name not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; available: {list(ALL_EXPERIMENTS)}")
         return 2
+
+    if args.strategies and args.jobs > 1:
+        print("--strategy implies serial execution; ignoring --jobs")
+        args.jobs = 1
 
     if args.jobs > 1:
         from repro.experiments.harness import run_experiments_parallel
@@ -47,7 +66,8 @@ def main(argv: list) -> int:
 
     for name in requested:
         start = time.time()
-        result = ALL_EXPERIMENTS[name]()
+        runner = ALL_EXPERIMENTS[name]
+        result = runner(**_experiment_kwargs(runner, args.strategies))
         elapsed = time.time() - start
         _print_result(name, result)
         print(f"({name} ran in {elapsed:.1f} s)\n")

@@ -1,0 +1,130 @@
+"""Communities-vs-PAINTER comparator: coverage and benefit at equal budgets.
+
+Action communities (prepend / selective announce / MED, Shao et al.,
+arXiv:1511.08336) are the classic operator answer to ingress steering; the
+question this table answers is how far they get relative to PAINTER's
+selective prefix advertisements when both spend the *same* announcement
+budget, against the anycast floor and the one-prefix-per-peering
+("unicast every ingress") ceiling.
+
+Two metrics per (strategy, budget):
+
+* ``benefit_frac`` — Eq. 1 realized benefit as a fraction of the total
+  possible (ground-truth routing, anycast fallback);
+* ``coverage_frac`` — the volume fraction of UGs whose realized ingress
+  under the strategy is their true best policy-compliant peering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.advertisement import AdvertisementConfig
+from repro.core.baselines import one_per_peering
+from repro.core.benefit import realized_benefit
+from repro.experiments.harness import ExperimentResult, budget_grid
+from repro.scenario import Scenario, prototype_scenario
+from repro.steering.communities import (
+    best_target_peering,
+    communities_benefit,
+    communities_budget_configs,
+    coverage_of_best_ingress,
+)
+
+
+def _config_coverage(scenario: Scenario, config: AdvertisementConfig) -> float:
+    """Volume fraction whose realized best-prefix ingress is their best peering."""
+    routing = scenario.routing
+    covered = 0.0
+    total = 0.0
+    for ug in scenario.user_groups:
+        total += ug.volume
+        target = best_target_peering(scenario, ug)
+        if target is None:
+            continue
+        anycast = scenario.anycast_latency_ms(ug)
+        best_latency = anycast
+        best_pid: Optional[int] = None
+        for prefix in config.prefixes:
+            advertised = config.peerings_for(prefix)
+            latency = routing.latency_for(ug, advertised)
+            if latency is not None and latency < best_latency:
+                ingress = routing.ingress_for(ug, advertised)
+                assert ingress is not None
+                best_latency = latency
+                best_pid = ingress.peering_id
+        if best_pid is None:
+            anycast_ingress = routing.anycast_ingress(ug)
+            best_pid = None if anycast_ingress is None else anycast_ingress.peering_id
+        if best_pid == target.peering_id:
+            covered += ug.volume
+    return 0.0 if total == 0 else covered / total
+
+
+def _anycast_coverage(scenario: Scenario) -> float:
+    covered = 0.0
+    total = 0.0
+    for ug in scenario.user_groups:
+        total += ug.volume
+        target = best_target_peering(scenario, ug)
+        ingress = scenario.routing.anycast_ingress(ug)
+        if target is not None and ingress is not None and ingress.peering_id == target.peering_id:
+            covered += ug.volume
+    return 0.0 if total == 0 else covered / total
+
+
+def run_communities(
+    scenario: Optional[Scenario] = None,
+    max_budget: int = 12,
+    budgets: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    """Coverage-of-best-ingress and benefit curves at matched budgets."""
+    scenario = scenario or prototype_scenario(seed=0, n_ugs=300)
+    budgets = list(budgets) if budgets is not None else budget_grid(max_budget)
+    total_possible = scenario.total_possible_benefit()
+
+    result = ExperimentResult(
+        experiment_id="communities",
+        title="Community steering vs PAINTER: benefit and best-ingress coverage",
+        columns=["strategy", "budget_prefixes", "benefit_frac", "coverage_frac"],
+    )
+
+    result.add_row("anycast", 0, 0.0, _anycast_coverage(scenario))
+
+    unicast = one_per_peering(scenario, len(scenario.deployment))
+    result.add_row(
+        "unicast",
+        unicast.prefix_count,
+        realized_benefit(scenario, unicast) / total_possible,
+        _config_coverage(scenario, unicast),
+    )
+
+    from repro.experiments.fig6 import painter_budget_configs
+
+    painter_configs = painter_budget_configs(scenario, budgets)
+    for budget in budgets:
+        config = painter_configs[budget]
+        result.add_row(
+            "painter",
+            budget,
+            realized_benefit(scenario, config) / total_possible,
+            _config_coverage(scenario, config),
+        )
+
+    by_budget: Dict[int, tuple] = communities_budget_configs(scenario, budgets)
+    for budget in budgets:
+        announcements = by_budget[budget]
+        result.add_row(
+            "communities",
+            len(announcements),
+            communities_benefit(scenario, announcements) / total_possible,
+            coverage_of_best_ingress(scenario, announcements),
+        )
+
+    result.add_note(f"total possible benefit (weighted ms): {total_possible:.2f}")
+    result.add_note(
+        "coverage_frac = volume fraction whose realized ingress equals their "
+        "best policy-compliant peering; anycast row is the no-TE floor, "
+        "unicast row advertises one prefix per peering"
+    )
+    return result

@@ -29,6 +29,7 @@ def run_fig7(
     budgets: Sequence[int] = DEFAULT_BUDGETS,
     days: Sequence[int] = DEFAULT_DAYS,
     learning_iterations: int = 2,
+    strategies: Sequence[str] = (),
 ) -> ExperimentResult:
     scenario = scenario or prototype_scenario(seed=0, n_ugs=300)
     orchestrator = PainterOrchestrator(
@@ -57,8 +58,35 @@ def run_fig7(
             )
             result.add_row(budget, day, "dynamic", dynamic / possible)
             result.add_row(budget, day, "static", static / possible)
+
+    if "communities" in strategies:
+        from repro.steering.communities import (
+            communities_benefit,
+            communities_budget_configs,
+            communities_choices,
+        )
+
+        by_budget = communities_budget_configs(scenario, budgets)
+        for budget in budgets:
+            announcements = by_budget[budget]
+            static_choice = communities_choices(scenario, announcements, day=0)
+            for day in days:
+                possible = scenario.total_possible_benefit(day=day)
+                dynamic = communities_benefit(scenario, announcements, day=day)
+                static = communities_benefit(
+                    scenario, announcements, day=day, choices=static_choice
+                )
+                result.add_row(budget, day, "communities-dynamic", dynamic / possible)
+                result.add_row(budget, day, "communities-static", static / possible)
+
     result.add_note(
         "benefit_frac is relative to the same-day total possible benefit; "
         "dynamic = TM re-picks prefixes daily, static = day-0 prefix pinned"
     )
+    if "communities" in strategies:
+        result.add_note(
+            "communities-* rows: action-community steering with the same "
+            "budget of announcement groups (dynamic = per-day best group, "
+            "static = day-0 group pinned)"
+        )
     return result

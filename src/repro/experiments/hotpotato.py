@@ -1,0 +1,245 @@
+"""Hot-potato coexistence: link-weight epochs vs ingress steering stability.
+
+Intra-domain link weights are not static: operators retune them, and each
+retune moves hot-potato egress costs (Balon & Leduc, arXiv:0803.2824).  Two
+ingress-TE mechanisms react very differently:
+
+* **PAINTER** advertises plain prefixes.  No IGP signal leaves the cloud,
+  so its ingress catchments are invariant across epochs — zero oscillation
+  by construction (the controller tracks the epoch but deliberately does
+  not re-solve; see ``PainterController._apply_delta``).
+* **Communities steering** pins ingresses with MED, and MED mirrors the
+  cloud's IGP cost to each exit PoP.  When an epoch shifts the weights,
+  the advertised MEDs shift with them and neighbors' best sessions can
+  flip — ingress oscillation and benefit erosion.
+
+The epoch schedule is driven through the controller's delta vocabulary
+(:func:`repro.controller.deltas.link_weight_deltas`), so the scenario
+exercises the same stream machinery as every other world change.  With a
+single (frozen) epoch the stream is empty, oscillation counts are exactly
+zero, and the PAINTER end-to-end benefit is bit-identical to
+:func:`repro.egress.coexistence.evaluate_coexistence` — the regression
+tests pin both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.advertisement import AdvertisementConfig
+from repro.egress.coexistence import (
+    DirectionalModel,
+    EgressOptimizer,
+    LinkWeightEpochs,
+    evaluate_coexistence,
+    painter_ingress_ms,
+)
+from repro.experiments.harness import ExperimentResult
+from repro.scenario import Scenario, prototype_scenario
+from repro.steering.communities import (
+    CommunityAnnouncement,
+    CommunityRouting,
+    communities_choices,
+    solve_communities,
+)
+from repro.usergroups.usergroup import UserGroup
+
+
+def _epoch_trajectory(n_epochs: int, interval_s: float) -> List[int]:
+    """Epoch sequence derived from the controller delta stream.
+
+    Epoch 0 is the initial state; each :class:`LinkWeightShift` bucket
+    advances the epoch.  A frozen schedule (one epoch) yields ``[0]``.
+    """
+    # Imported here: repro.controller pulls in repro.io, which imports the
+    # experiments package — a top-level import would close that cycle.
+    from repro.controller.deltas import LinkWeightShift, group_deltas, link_weight_deltas
+
+    trajectory = [0]
+    for _, bucket in group_deltas(link_weight_deltas(n_epochs, interval_s=interval_s)):
+        for delta in bucket:
+            assert isinstance(delta, LinkWeightShift)
+            trajectory.append(delta.epoch)
+    return trajectory
+
+
+def _painter_ingress_ids(
+    scenario: Scenario, config: AdvertisementConfig
+) -> Dict[int, Optional[int]]:
+    """Each UG's realized PAINTER ingress (best prefix, anycast fallback)."""
+    routing = scenario.routing
+    out: Dict[int, Optional[int]] = {}
+    for ug in scenario.user_groups:
+        anycast = scenario.anycast_latency_ms(ug)
+        best_pid: Optional[int] = None
+        best_latency = anycast
+        for prefix in config.prefixes:
+            advertised = config.peerings_for(prefix)
+            latency = routing.latency_for(ug, advertised)
+            if latency is not None and latency < best_latency:
+                ingress = routing.ingress_for(ug, advertised)
+                assert ingress is not None
+                best_latency = latency
+                best_pid = ingress.peering_id
+        out[ug.ug_id] = best_pid
+    return out
+
+
+def _communities_ingress_ids(
+    scenario: Scenario,
+    router: CommunityRouting,
+    announcements: Sequence[CommunityAnnouncement],
+    choices: Dict[int, int],
+    epoch: int,
+) -> Dict[int, Optional[int]]:
+    """Each UG's realized ingress under its pinned announcement at ``epoch``."""
+    out: Dict[int, Optional[int]] = {}
+    for ug in scenario.user_groups:
+        index = choices.get(ug.ug_id)
+        if index is None:
+            out[ug.ug_id] = None
+            continue
+        ingress = router.ingress_for(ug, announcements[index], epoch=epoch)
+        out[ug.ug_id] = None if ingress is None else ingress.peering_id
+    return out
+
+
+def _count_flips(
+    previous: Dict[int, Optional[int]], current: Dict[int, Optional[int]]
+) -> int:
+    return sum(1 for ug_id, pid in current.items() if previous[ug_id] != pid)
+
+
+def _communities_combined_gain(
+    scenario: Scenario,
+    model: DirectionalModel,
+    optimizer: EgressOptimizer,
+    router: CommunityRouting,
+    announcements: Sequence[CommunityAnnouncement],
+    choices: Dict[int, int],
+    epoch: int,
+) -> float:
+    """End-to-end (both-systems-on) gain with communities-steered ingress.
+
+    Mirrors :func:`evaluate_coexistence`'s accumulation (same UG order,
+    same per-term arithmetic) with the pinned announcement's ingress in
+    place of PAINTER's best prefix; the anycast fallback still floors the
+    ingress leg, since per-flow selection keeps anycast as a destination.
+    """
+    neither = both = 0.0
+    for ug in scenario.user_groups:
+        anycast = scenario.routing.anycast_ingress(ug)
+        assert anycast is not None
+        default_in = model.split(ug, anycast).ingress_ms
+        default_out = optimizer.default_egress_ms(ug, epoch=epoch)
+        best_in = default_in
+        index = choices.get(ug.ug_id)
+        if index is not None:
+            ingress = router.ingress_for(ug, announcements[index], epoch=epoch)
+            if ingress is not None:
+                candidate = model.split(ug, ingress).ingress_ms
+                if candidate < best_in:
+                    best_in = candidate
+        best_out = optimizer.best_egress_ms(ug, epoch=epoch)
+        neither += ug.volume * (default_in + default_out)
+        both += ug.volume * (best_in + best_out)
+    return neither - both
+
+
+def run_hot_potato(
+    scenario: Optional[Scenario] = None,
+    budget: int = 8,
+    n_epochs: int = 4,
+    amplitude: float = 0.3,
+    seed: int = 0,
+    interval_s: float = 60.0,
+) -> ExperimentResult:
+    """Oscillation and benefit erosion across link-weight epochs.
+
+    One row per (mode, epoch): ``oscillations`` counts UGs whose realized
+    ingress flipped relative to the previous epoch, ``combined_gain`` is
+    the end-to-end (ingress+egress) gain over the no-TE baseline at that
+    epoch, and ``erosion_frac`` its loss relative to epoch 0.
+    """
+    scenario = scenario or prototype_scenario(seed=0, n_ugs=400)
+    epochs = LinkWeightEpochs(n_epochs=n_epochs, seed=seed, amplitude=amplitude)
+    model = DirectionalModel(scenario, epochs=epochs)
+    optimizer = EgressOptimizer(scenario, model)
+
+    from repro.experiments.fig6 import painter_budget_configs
+
+    painter_config = painter_budget_configs(scenario, [budget])[budget]
+    solution = solve_communities(scenario, budget, epochs=epochs)
+    router = CommunityRouting(scenario, epochs=epochs)
+    # Announcement assignments are pinned at epoch 0 (solve time); later
+    # epochs re-route the *network*, not the assignment — that gap is the
+    # erosion being measured.
+    choices = communities_choices(
+        scenario, solution.announcements, epoch=0, epochs=epochs
+    )
+
+    result = ExperimentResult(
+        experiment_id="hotpotato",
+        title="Hot-potato link-weight epochs: ingress oscillation and benefit erosion",
+        columns=["mode", "epoch", "oscillations", "combined_gain", "erosion_frac"],
+    )
+
+    trajectory = _epoch_trajectory(n_epochs, interval_s)
+    painter_base: Optional[float] = None
+    communities_base: Optional[float] = None
+    painter_prev: Optional[Dict[int, Optional[int]]] = None
+    communities_prev: Optional[Dict[int, Optional[int]]] = None
+    painter_flips_total = 0
+    communities_flips_total = 0
+
+    for epoch in trajectory:
+        painter_now = _painter_ingress_ids(scenario, painter_config)
+        painter_gain = evaluate_coexistence(
+            scenario, painter_config, model=model, epoch=epoch
+        ).combined_gain
+        if painter_base is None:
+            painter_base = painter_gain
+        painter_flips = 0 if painter_prev is None else _count_flips(painter_prev, painter_now)
+        painter_flips_total += painter_flips
+        result.add_row(
+            "painter",
+            epoch,
+            painter_flips,
+            painter_gain,
+            0.0 if painter_base <= 0 else (painter_base - painter_gain) / painter_base,
+        )
+        painter_prev = painter_now
+
+        communities_now = _communities_ingress_ids(
+            scenario, router, solution.announcements, choices, epoch
+        )
+        communities_gain = _communities_combined_gain(
+            scenario, model, optimizer, router, solution.announcements, choices, epoch
+        )
+        if communities_base is None:
+            communities_base = communities_gain
+        communities_flips = (
+            0 if communities_prev is None else _count_flips(communities_prev, communities_now)
+        )
+        communities_flips_total += communities_flips
+        result.add_row(
+            "communities",
+            epoch,
+            communities_flips,
+            communities_gain,
+            0.0
+            if communities_base <= 0
+            else (communities_base - communities_gain) / communities_base,
+        )
+        communities_prev = communities_now
+
+    result.add_note(
+        f"epoch schedule: {n_epochs} epoch(s), amplitude {amplitude:g}, seed {seed}, "
+        f"driven by {max(0, n_epochs - 1)} LinkWeightShift delta(s)"
+    )
+    result.add_note(
+        f"total ingress flips — painter: {painter_flips_total}, "
+        f"communities: {communities_flips_total}"
+    )
+    result.add_note(f"prefix/announcement budget: {budget}")
+    return result

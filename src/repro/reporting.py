@@ -108,6 +108,10 @@ def run_and_report(
             report = report + "\n" + optimality_summary(result)
         elif result.experiment_id == "soak":
             report = report + "\n" + soak_summary(result)
+        elif result.experiment_id == "communities":
+            report = report + "\n" + communities_summary(result)
+        elif result.experiment_id == "hotpotato":
+            report = report + "\n" + hotpotato_summary(result)
     if include_perf:
         report = report + "\n" + PERF.to_markdown()
     return report
@@ -141,6 +145,78 @@ def soak_summary(result: ExperimentResult) -> str:
             f"{max(down)} UGs at once); flow accounting closed with "
             f"{sum(errors)} errors (the gate requires zero)."
         )
+    for note in result.notes:
+        lines.append("")
+        lines.append(f"> {note}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def communities_summary(result: ExperimentResult) -> str:
+    """Digest of the communities-vs-PAINTER comparator table.
+
+    Surfaces the benefit/coverage gap at the largest shared budget so the
+    headline — how community steering stacks up against selective prefix
+    advertisements for the same announcement spend — is readable without
+    scanning the curves.
+    """
+    by_strategy: Dict[str, List[tuple]] = {}
+    for row in result.rows:
+        by_strategy.setdefault(str(row[0]), []).append(tuple(row))
+    lines = ["## Communities-vs-PAINTER digest", ""]
+    painter = by_strategy.get("painter", [])
+    communities = by_strategy.get("communities", [])
+    if painter and communities:
+        p = max(painter, key=lambda row: int(row[1]))
+        c = max(communities, key=lambda row: int(row[1]))
+        lines.append(
+            f"At the largest shared budget (painter {p[1]} prefixes, "
+            f"communities {c[1]} announcement groups) PAINTER realizes "
+            f"{100 * float(p[2]):.1f}% of the possible benefit vs "
+            f"{100 * float(c[2]):.1f}% for community steering; "
+            f"best-ingress coverage is {100 * float(p[3]):.1f}% vs "
+            f"{100 * float(c[3]):.1f}% of volume."
+        )
+        lines.append("")
+    for note in result.notes:
+        lines.append("")
+        lines.append(f"> {note}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def hotpotato_summary(result: ExperimentResult) -> str:
+    """Digest of the hot-potato coexistence table: stability contrast.
+
+    The story is the asymmetry — plain-prefix ingress TE is invariant to
+    intra-cloud link-weight epochs while MED-pinned community steering
+    oscillates — so the digest leads with total flips per mode and the
+    worst benefit erosion observed.
+    """
+    flips: Dict[str, int] = {}
+    worst_erosion: Dict[str, float] = {}
+    for row in result.rows:
+        mode = str(row[0])
+        flips[mode] = flips.get(mode, 0) + int(row[2])
+        worst_erosion[mode] = max(worst_erosion.get(mode, 0.0), float(row[4]))
+    lines = ["## Hot-potato coexistence digest", ""]
+    if flips:
+        parts = [
+            f"{mode}: {flips[mode]} ingress flip(s), worst erosion "
+            f"{100 * worst_erosion[mode]:.1f}%"
+            for mode in sorted(flips)
+        ]
+        lines.append(
+            "Across the link-weight epoch schedule — " + "; ".join(parts) + "."
+        )
+        lines.append("")
+        if flips.get("painter", 0) == 0 and flips.get("communities", 0) > 0:
+            lines.append(
+                "PAINTER's prefix-only advertisements carry no IGP signal, so "
+                "its catchments hold while MED-steered ingresses chase the "
+                "shifting egress costs."
+            )
+            lines.append("")
     for note in result.notes:
         lines.append("")
         lines.append(f"> {note}")

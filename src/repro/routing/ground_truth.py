@@ -79,24 +79,47 @@ class GroundTruthRouting:
         return self._model
 
     @property
+    def seed(self) -> int:
+        """Seed of the hidden tie-break / exit-policy state."""
+        return self._seed
+
+    @property
     def anycast_peering_ids(self) -> FrozenSet[int]:
         """The default configuration D: the anycast prefix via every peering."""
         return self._all_peering_ids
 
     # -- layer 1: AS-level propagation --------------------------------------
 
-    def _routes_for(self, peer_asns: FrozenSet[int]) -> Dict[int, Route]:
-        cached = self._propagation_cache.get(peer_asns)
+    def _routes_for(
+        self,
+        peer_asns: FrozenSet[int],
+        prepend: Optional[Dict[int, int]] = None,
+    ) -> Dict[int, Route]:
+        # Zero-count prepend entries are dropped from the cache key so a
+        # "prepend x0" announcement shares the plain announcement's cache
+        # entry (and is therefore bit-identical to it by construction).
+        prepend_items: Tuple[Tuple[int, int], ...] = ()
+        if prepend:
+            prepend_items = tuple(sorted((a, n) for a, n in prepend.items() if n > 0))
+        key = peer_asns if not prepend_items else (peer_asns, prepend_items)
+        cached = self._propagation_cache.get(key)
         if cached is None:
             self._propagation_stats.misses += 1
-            cached = self._sim.propagate("prefix", sorted(peer_asns))
-            self._propagation_cache[peer_asns] = cached
+            cached = self._sim.propagate(
+                "prefix", sorted(peer_asns), prepend=dict(prepend_items) or None
+            )
+            self._propagation_cache[key] = cached
         else:
             self._propagation_stats.hits += 1
         return cached
 
-    def _entering_asn(self, ug: UserGroup, peer_asns: FrozenSet[int]) -> Optional[int]:
-        routes = self._routes_for(peer_asns)
+    def _entering_asn(
+        self,
+        ug: UserGroup,
+        peer_asns: FrozenSet[int],
+        prepend: Optional[Dict[int, int]] = None,
+    ) -> Optional[int]:
+        routes = self._routes_for(peer_asns, prepend=prepend)
         route = routes.get(ug.asn)
         if route is None:
             return None
@@ -104,6 +127,20 @@ class GroundTruthRouting:
         if len(route.as_path) == 1:  # UG's AS peers directly and was announced to
             return ug.asn
         return route.as_path[-2]
+
+    def entering_asn_for(
+        self,
+        ug: UserGroup,
+        peer_asns: FrozenSet[int],
+        prepend: Optional[Dict[int, int]] = None,
+    ) -> Optional[int]:
+        """The neighbor AS ``ug``'s traffic enters the cloud through.
+
+        Public hook for layers (e.g. community-based inbound TE) that alter
+        the AS-level announcement — ``prepend`` maps a peer ASN to a prepend
+        count on that session — but reuse this oracle's hidden tie-breaks.
+        """
+        return self._entering_asn(ug, peer_asns, prepend=prepend)
 
     def as_path(
         self, ug: UserGroup, advertised: Iterable[int]
@@ -160,6 +197,16 @@ class GroundTruthRouting:
             return (haversine_km(ug.location, peering.pop.location) * wobble, peering.peering_id)
 
         return min(candidates, key=hot_key)
+
+    def choose_exit(
+        self, ug: UserGroup, entering_asn: int, candidates: Sequence[Peering]
+    ) -> Peering:
+        """Public exit-policy hook (same hidden state as :meth:`ingress_for`).
+
+        Given that ``ug``'s traffic enters via ``entering_asn`` and that AS
+        sees ``candidates`` advertised, return the peering it exits through.
+        """
+        return self._choose_exit(ug, entering_asn, candidates)
 
     # -- public API -------------------------------------------------------------
 

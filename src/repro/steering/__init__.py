@@ -1,8 +1,32 @@
-"""Steering-mechanism comparisons: granularity, DNS steering, SD-WAN."""
+"""Steering-mechanism comparisons: granularity, DNS steering, SD-WAN,
+action communities, and the cross-strategy conformance registry."""
 
 from repro.steering.catchment import CatchmentAnalysis, CatchmentEntry
+from repro.steering.communities import (
+    AnnounceToAction,
+    CommunitiesSolution,
+    CommunityAnnouncement,
+    CommunityRouting,
+    MedAction,
+    NoExportAction,
+    PrependAction,
+    communities_benefit,
+    communities_budget_configs,
+    communities_choices,
+    compile_actions,
+    coverage_of_best_ingress,
+    parse_community,
+    solve_communities,
+)
 from repro.steering.dns_steering import DnsSteeringResult, evaluate_dns_steering
 from repro.steering.pecan import best_single_isp, compare_pecan_to_painter, pecan_config
+from repro.steering.registry import (
+    SteeringChoice,
+    SteeringOutcome,
+    register_strategy,
+    run_strategy,
+    strategy_names,
+)
 from repro.steering.granularity import (
     BUCKET_LABELS,
     GRANULARITY_BUCKETS,
@@ -19,10 +43,14 @@ from repro.steering.resilience import (
 from repro.steering.sdwan import SdwanView, sdwan_path_count, sdwan_view
 
 __all__ = [
+    "AnnounceToAction",
     "AvoidanceResult",
     "CatchmentAnalysis",
     "CatchmentEntry",
     "BUCKET_LABELS",
+    "CommunitiesSolution",
+    "CommunityAnnouncement",
+    "CommunityRouting",
     "DnsSteeringResult",
     "ExposureComparison",
     "GRANULARITY_BUCKETS",
@@ -31,11 +59,26 @@ __all__ = [
     "best_single_isp",
     "compare_pecan_to_painter",
     "pecan_config",
+    "MedAction",
+    "NoExportAction",
     "PopGranularity",
+    "PrependAction",
     "ResilienceAnalysis",
     "SdwanView",
+    "SteeringChoice",
+    "SteeringOutcome",
+    "communities_benefit",
+    "communities_budget_configs",
+    "communities_choices",
+    "compile_actions",
+    "coverage_of_best_ingress",
     "evaluate_dns_steering",
     "fraction_fully_avoidable",
+    "parse_community",
+    "register_strategy",
+    "run_strategy",
     "sdwan_path_count",
     "sdwan_view",
+    "solve_communities",
+    "strategy_names",
 ]

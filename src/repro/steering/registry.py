@@ -1,0 +1,290 @@
+"""A common contract over steering strategies, for conformance testing.
+
+Every steering mechanism in this package answers the same question through
+a different lens: *which ingress should each UG's traffic use?*  PAINTER
+answers with prefix advertisements + per-flow selection, the communities
+strategy with action-tagged announcements, PECAN with single-ISP prefixes,
+DNS with resolver-granular answers, SD-WAN with ISP selection.  This module
+normalizes them behind one interface so properties can be asserted over
+*all* of them at once (and over strategies added later, for free):
+
+* a strategy's raw chooser proposes a peering per UG (or ``None``);
+* the harness applies the **anycast-fallback contract**: proposals outside
+  the UG's policy-compliant candidate set, or worse than anycast on modeled
+  latency, clamp to ``None`` (= stay on anycast).  This mirrors PAINTER's
+  Traffic Manager, which always keeps anycast as a fallback destination.
+  Mechanism-specific penalties (DNS's inability to fall back per flow,
+  SD-WAN's limited path set) are measured by their dedicated analyses; the
+  registry isolates *steering choice quality* under equal fallback rules.
+
+The conformance properties every registered strategy then satisfies by
+construction or by test (``tests/test_steering_communities.py``):
+
+(a) every choice is in the UG's candidate set (or ``None``);
+(b) choices are deterministic in ``(scenario, budget, seed)``;
+(c) no UG is worse than anycast on modeled latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class SteeringChoice:
+    """One UG's final (contract-clamped) steering decision."""
+
+    ug_id: int
+    #: ``None`` means the UG stays on the anycast default.
+    peering_id: Optional[int]
+    #: Modeled latency of the final choice (anycast latency when ``None``).
+    latency_ms: float
+
+
+@dataclass(frozen=True)
+class SteeringOutcome:
+    """A strategy's decisions for every UG, in ``scenario.user_groups`` order."""
+
+    strategy: str
+    budget: int
+    seed: int
+    choices: Tuple[SteeringChoice, ...]
+
+    def choice_of(self, ug_id: int) -> SteeringChoice:
+        for choice in self.choices:
+            if choice.ug_id == ug_id:
+                return choice
+        raise KeyError(f"no choice recorded for UG {ug_id}")
+
+
+#: A raw chooser: (scenario, budget, seed) -> {ug_id: proposed peering or None}.
+ChooserFn = Callable[[Scenario, int, int], Mapping[int, Optional[int]]]
+
+_STRATEGIES: Dict[str, ChooserFn] = {}
+
+
+def register_strategy(name: str) -> Callable[[ChooserFn], ChooserFn]:
+    """Register a raw chooser under ``name`` (decorator)."""
+
+    def wrap(fn: ChooserFn) -> ChooserFn:
+        if name in _STRATEGIES:
+            raise ValueError(f"strategy {name!r} already registered")
+        _STRATEGIES[name] = fn
+        return fn
+
+    return wrap
+
+
+def strategy_names() -> List[str]:
+    return sorted(_STRATEGIES)
+
+
+def run_strategy(
+    name: str, scenario: Scenario, budget: int = 8, seed: int = 0
+) -> SteeringOutcome:
+    """Run a registered strategy and apply the anycast-fallback contract."""
+    try:
+        chooser = _STRATEGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; registered: {strategy_names()}"
+        ) from None
+    raw = chooser(scenario, budget, seed)
+    deployment = scenario.deployment
+    model = scenario.latency_model
+    choices: List[SteeringChoice] = []
+    for ug in scenario.user_groups:
+        anycast = scenario.anycast_latency_ms(ug)
+        pid = raw.get(ug.ug_id)
+        latency = anycast
+        if pid is not None:
+            if pid not in scenario.catalog.ingress_ids(ug):
+                pid = None  # outside the candidate set: clamp to anycast
+            else:
+                proposed = model.latency_ms(ug, deployment.peering(pid))
+                if proposed is None or proposed >= anycast:
+                    pid = None  # no better than the fallback: stay on anycast
+                else:
+                    latency = proposed
+        choices.append(SteeringChoice(ug_id=ug.ug_id, peering_id=pid, latency_ms=latency))
+    return SteeringOutcome(
+        strategy=name, budget=budget, seed=seed, choices=tuple(choices)
+    )
+
+
+# -- built-in strategy adapters ----------------------------------------------
+
+
+@register_strategy("painter")
+def _painter_chooser(
+    scenario: Scenario, budget: int, seed: int
+) -> Dict[int, Optional[int]]:
+    from repro.experiments.fig6 import painter_budget_configs
+
+    config = painter_budget_configs(scenario, [budget])[budget]
+    routing = scenario.routing
+    raw: Dict[int, Optional[int]] = {}
+    for ug in scenario.user_groups:
+        anycast = scenario.anycast_latency_ms(ug)
+        best_pid: Optional[int] = None
+        best_latency = anycast
+        for prefix in config.prefixes:
+            advertised = config.peerings_for(prefix)
+            latency = routing.latency_for(ug, advertised)
+            if latency is not None and latency < best_latency:
+                ingress = routing.ingress_for(ug, advertised)
+                assert ingress is not None
+                best_latency = latency
+                best_pid = ingress.peering_id
+        raw[ug.ug_id] = best_pid
+    return raw
+
+
+@register_strategy("communities")
+def _communities_chooser(
+    scenario: Scenario, budget: int, seed: int
+) -> Dict[int, Optional[int]]:
+    from repro.steering.communities import CommunityRouting, solve_communities
+
+    solution = solve_communities(scenario, budget)
+    router = CommunityRouting(scenario)
+    raw: Dict[int, Optional[int]] = {}
+    for ug in scenario.user_groups:
+        anycast = scenario.anycast_latency_ms(ug)
+        best_pid: Optional[int] = None
+        best_latency = anycast
+        for announcement in solution.announcements:
+            ingress = router.ingress_for(ug, announcement)
+            if ingress is None:
+                continue
+            latency = scenario.latency_model.latency_ms(ug, ingress)
+            if latency is not None and latency < best_latency:
+                best_latency = latency
+                best_pid = ingress.peering_id
+        raw[ug.ug_id] = best_pid
+    return raw
+
+
+@register_strategy("pecan")
+def _pecan_chooser(
+    scenario: Scenario, budget: int, seed: int
+) -> Dict[int, Optional[int]]:
+    from repro.steering.pecan import pecan_config
+
+    config = pecan_config(scenario, budget)
+    routing = scenario.routing
+    raw: Dict[int, Optional[int]] = {}
+    for ug in scenario.user_groups:
+        anycast = scenario.anycast_latency_ms(ug)
+        best_pid: Optional[int] = None
+        best_latency = anycast
+        for prefix in config.prefixes:
+            advertised = config.peerings_for(prefix)
+            latency = routing.latency_for(ug, advertised)
+            if latency is not None and latency < best_latency:
+                ingress = routing.ingress_for(ug, advertised)
+                assert ingress is not None
+                best_latency = latency
+                best_pid = ingress.peering_id
+        raw[ug.ug_id] = best_pid
+    return raw
+
+
+@register_strategy("dns")
+def _dns_chooser(
+    scenario: Scenario, budget: int, seed: int
+) -> Dict[int, Optional[int]]:
+    from repro.dns.resolvers import ResolverAssignment, ResolverConfig
+    from repro.experiments.fig6 import painter_budget_configs
+
+    config = painter_budget_configs(scenario, [budget])[budget]
+    resolvers = ResolverAssignment(scenario, ResolverConfig(seed=seed))
+    routing = scenario.routing
+    raw: Dict[int, Optional[int]] = {}
+
+    def best_prefix_for(ugs) -> Optional[int]:
+        """The shared answer: best aggregate prefix for the resolver's UGs."""
+        best: Optional[int] = None
+        best_total = 0.0
+        for prefix in config.prefixes:
+            advertised = config.peerings_for(prefix)
+            total = 0.0
+            for ug in ugs:
+                latency = routing.latency_for(ug, advertised)
+                if latency is None:
+                    continue
+                total += ug.volume * (scenario.anycast_latency_ms(ug) - latency)
+            if total > best_total:
+                best_total = total
+                best = prefix
+        return best
+
+    for resolver in resolvers.resolvers:
+        ugs = resolvers.ugs_of(resolver)
+        if not ugs:
+            continue
+        if resolver.supports_ecs:
+            # ECS: per-client-subnet answers, i.e. per-UG best prefix.
+            for ug in ugs:
+                anycast = scenario.anycast_latency_ms(ug)
+                best_pid: Optional[int] = None
+                best_latency = anycast
+                for prefix in config.prefixes:
+                    advertised = config.peerings_for(prefix)
+                    latency = routing.latency_for(ug, advertised)
+                    if latency is not None and latency < best_latency:
+                        ingress = routing.ingress_for(ug, advertised)
+                        assert ingress is not None
+                        best_latency = latency
+                        best_pid = ingress.peering_id
+                raw[ug.ug_id] = best_pid
+            continue
+        prefix = best_prefix_for(ugs)
+        for ug in ugs:
+            if prefix is None:
+                raw[ug.ug_id] = None
+                continue
+            ingress = routing.ingress_for(ug, config.peerings_for(prefix))
+            raw[ug.ug_id] = None if ingress is None else ingress.peering_id
+    return raw
+
+
+@register_strategy("sdwan")
+def _sdwan_chooser(
+    scenario: Scenario, budget: int, seed: int
+) -> Dict[int, Optional[int]]:
+    from repro.steering.sdwan import sdwan_view
+    from repro.usergroups.usergroup import UserGroup
+
+    graph = scenario.graph
+    routing = scenario.routing
+    raw: Dict[int, Optional[int]] = {}
+    for ug in scenario.user_groups:
+        view = sdwan_view(scenario, ug)
+        best_pid: Optional[int] = None
+        best_latency = float("inf")
+        for isp in view.isp_asns:
+            isp_ug = UserGroup(
+                ug_id=10_000_000 + isp,
+                asn=isp,
+                metro=graph.get_as(isp).home_metro or ug.metro,
+                volume=0.0,
+            )
+            ingress = routing.anycast_ingress(isp_ug)
+            if ingress is None:
+                continue
+            latency = scenario.latency_model.latency_ms(ug, ingress)
+            if latency is not None and latency < best_latency:
+                best_latency = latency
+                best_pid = ingress.peering_id
+        if view.has_direct_peering:
+            for peering in scenario.deployment.peerings_with(ug.asn):
+                latency = scenario.latency_model.latency_ms(ug, peering)
+                if latency is not None and latency < best_latency:
+                    best_latency = latency
+                    best_pid = peering.peering_id
+        raw[ug.ug_id] = best_pid
+    return raw

@@ -1,0 +1,246 @@
+"""Community-steering tests: strategy conformance + differential identities.
+
+Three layers:
+
+* **conformance** — a property harness over *every* registered steering
+  strategy (:mod:`repro.steering.registry`): choices stay inside the UG's
+  policy-compliant candidate set, are deterministic in the seed, and never
+  leave a UG worse than anycast on modeled latency.  New strategies get the
+  harness for free by registering.
+* **differentials** — no-op actions must be *bit-identical* to the plain
+  advertisement path: prepend ×0 shares the propagation cache with the
+  untagged announcement, selective-announce toward all peers equals the
+  unconditional announcement.
+* **encoding** — community strings round-trip through parse/compile.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.steering.communities import (
+    AnnounceToAction,
+    CommunityAnnouncement,
+    CommunityRouting,
+    MedAction,
+    NoExportAction,
+    PrependAction,
+    communities_benefit,
+    parse_community,
+    solve_communities,
+)
+from repro.steering.registry import run_strategy, strategy_names
+
+
+# ---------------------------------------------------------------------------
+# Strategy conformance (properties (a), (b), (c) of the registry contract)
+# ---------------------------------------------------------------------------
+
+
+_OUTCOMES = {}
+
+
+def _cached_outcome(name, scenario, budget, seed):
+    key = (name, budget, seed)
+    if key not in _OUTCOMES:
+        _OUTCOMES[key] = run_strategy(name, scenario, budget=budget, seed=seed)
+    return _OUTCOMES[key]
+
+
+@pytest.mark.parametrize("name", strategy_names())
+@settings(max_examples=4, deadline=None)
+@given(budget=st.sampled_from([2, 4, 8]), seed=st.integers(min_value=0, max_value=2))
+def test_strategy_conformance(scenario, name, budget, seed):
+    outcome = _cached_outcome(name, scenario, budget, seed)
+
+    # (b) deterministic in (scenario, budget, seed): a fresh run is equal.
+    rerun = run_strategy(name, scenario, budget=budget, seed=seed)
+    assert rerun == outcome
+
+    assert len(outcome.choices) == len(scenario.user_groups)
+    for ug, choice in zip(scenario.user_groups, outcome.choices):
+        assert choice.ug_id == ug.ug_id
+        anycast = scenario.anycast_latency_ms(ug)
+        if choice.peering_id is None:
+            # Staying on anycast reports the anycast latency.
+            assert choice.latency_ms == anycast
+            continue
+        # (a) every non-None choice is in the UG's candidate set.
+        assert choice.peering_id in scenario.catalog.ingress_ids(ug)
+        # (c) never worse than anycast on modeled latency.
+        assert choice.latency_ms < anycast
+
+
+def test_strategy_names_cover_known_mechanisms():
+    names = strategy_names()
+    for expected in ("painter", "communities", "pecan", "dns", "sdwan"):
+        assert expected in names
+
+
+def test_unknown_strategy_raises(scenario):
+    with pytest.raises(KeyError):
+        run_strategy("no-such-strategy", scenario)
+
+
+# ---------------------------------------------------------------------------
+# Differential: prepend ×0 is bit-identical to the plain advertisement path
+# ---------------------------------------------------------------------------
+
+
+def test_prepend_zero_shares_propagation_cache(scenario):
+    routing = scenario.routing
+    asns = sorted(CommunityRouting(scenario).peer_asns)
+    allowed = frozenset(asns)
+    for ug in scenario.user_groups[:20]:
+        plain = routing.entering_asn_for(ug, allowed)
+        zeroed = routing.entering_asn_for(ug, allowed, prepend={asns[0]: 0})
+        assert plain == zeroed
+
+
+def test_prepend_zero_announcement_is_noop(scenario):
+    router = CommunityRouting(scenario)
+    target_asn = sorted(router.peer_asns)[0]
+    noop = CommunityAnnouncement()
+    zeroed = CommunityAnnouncement(prepend=((target_asn, 0),))
+    assert zeroed.is_noop is False or zeroed.prepend_map() == {}
+    assert zeroed.prepend_map() == {}
+    for ug in scenario.user_groups:
+        a = router.ingress_for(ug, noop)
+        b = router.ingress_for(ug, zeroed)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.peering_id == b.peering_id
+        assert router.latency_for(ug, noop) == router.latency_for(ug, zeroed)
+    # Benefit curves are bit-identical too.
+    assert communities_benefit(scenario, [zeroed]) == communities_benefit(
+        scenario, [noop]
+    )
+
+
+def test_announce_to_all_equals_unconditional(scenario):
+    router = CommunityRouting(scenario)
+    noop = CommunityAnnouncement()
+    everywhere = CommunityAnnouncement(announce=frozenset(router.peer_asns))
+    assert everywhere.effective_peers(router.peer_asns) == frozenset(router.peer_asns)
+    for ug in scenario.user_groups:
+        a = router.ingress_for(ug, noop)
+        b = router.ingress_for(ug, everywhere)
+        if a is None:
+            assert b is None
+        else:
+            assert b is not None and a.peering_id == b.peering_id
+    assert communities_benefit(scenario, [everywhere]) == communities_benefit(
+        scenario, [noop]
+    )
+
+
+def test_nonzero_prepend_changes_cache_key(scenario):
+    """×0 must share the cache; ×3 must not silently alias it."""
+    routing = scenario.routing
+    router = CommunityRouting(scenario)
+    asns = sorted(router.peer_asns)
+    allowed = frozenset(asns)
+    changed = 0
+    for ug in scenario.user_groups:
+        plain = routing.entering_asn_for(ug, allowed)
+        pushed = routing.entering_asn_for(
+            ug, allowed, prepend={asn: 3 for asn in asns[: len(asns) // 2]}
+        )
+        if plain != pushed:
+            changed += 1
+    assert changed > 0, "prepending half the peers moved no UG - not plausible"
+
+
+# ---------------------------------------------------------------------------
+# Encoding: community strings round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_action_community_round_trip():
+    actions = [
+        PrependAction(peer_asn=64500, count=3),
+        AnnounceToAction(peer_asn=64501),
+        NoExportAction(peer_asn=64502),
+        MedAction(peering_id=7, offset=-200),
+    ]
+    for action in actions:
+        assert parse_community(action.community()) == action
+
+
+@pytest.mark.parametrize(
+    "junk",
+    ["", "cloud:prepend", "cloud:prepend:a:b", "other:announce:1", "cloud:nope:1"],
+)
+def test_parse_community_rejects_junk(junk):
+    with pytest.raises(ValueError):
+        parse_community(junk)
+
+
+@given(
+    # announce=None (unconditional) and announce=∅ both encode to "no
+    # announce tags", so the generator never emits the empty set.
+    announce=st.one_of(
+        st.none(),
+        st.frozensets(
+            st.integers(min_value=2, max_value=900), min_size=1, max_size=4
+        ),
+    ),
+    no_export=st.frozensets(st.integers(min_value=2, max_value=900), max_size=3),
+    prepend=st.dictionaries(
+        st.integers(min_value=2, max_value=900),
+        st.integers(min_value=1, max_value=6),
+        max_size=3,
+    ),
+    med=st.dictionaries(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=-500, max_value=500),
+        max_size=3,
+    ),
+)
+@settings(max_examples=50, deadline=None)
+def test_announcement_round_trips_through_communities(announce, no_export, prepend, med):
+    announcement = CommunityAnnouncement(
+        announce=announce,
+        no_export=no_export,
+        prepend=tuple(sorted(prepend.items())),
+        med=tuple(sorted(med.items())),
+    )
+    assert CommunityAnnouncement.from_communities(
+        announcement.communities()
+    ) == announcement
+
+
+def test_tagged_routes_carry_communities(scenario):
+    router = CommunityRouting(scenario)
+    asns = sorted(router.peer_asns)
+    announcement = CommunityAnnouncement(
+        prepend=((asns[0], 2),), med=((1, -200),)
+    )
+    routes = router.tagged_routes(announcement)
+    expected = set(announcement.communities())
+    tagged = set()
+    for route in routes.values():
+        tagged.update(route.communities)
+    assert tagged & expected, "no announced community survived propagation"
+
+
+# ---------------------------------------------------------------------------
+# Solver sanity
+# ---------------------------------------------------------------------------
+
+
+def test_solve_communities_budgets_nest(scenario):
+    solution = solve_communities(scenario, budget=6)
+    assert 0 < len(solution.announcements) <= 6
+    smaller = solution.at_budget(3)
+    assert smaller == solution.announcements[:3]
+    assert communities_benefit(scenario, solution.announcements) >= communities_benefit(
+        scenario, smaller
+    )
+
+
+def test_solve_communities_improves_on_anycast(scenario):
+    solution = solve_communities(scenario, budget=8)
+    assert communities_benefit(scenario, solution.announcements) > 0.0
